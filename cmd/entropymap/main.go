@@ -1,0 +1,99 @@
+// Command entropymap prints the window-based entropy distribution of a
+// benchmark, optionally after an address mapping scheme — the per-
+// workload view behind Figures 5 and 10.
+//
+// Usage:
+//
+//	entropymap -bench MT [-scheme PAE] [-window 12] [-scale small] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"valleymap"
+)
+
+func bar(v float64) string {
+	n := int(v*40 + 0.5)
+	return strings.Repeat("#", n) + strings.Repeat(".", 40-n)
+}
+
+func main() {
+	bench := flag.String("bench", "MT", "benchmark abbreviation (Table II)")
+	traceFile := flag.String("trace", "", "analyze a CSV trace file instead of a packaged benchmark")
+	scheme := flag.String("scheme", "", "optional mapping scheme applied before analysis")
+	window := flag.Int("window", 12, "window size w (TBs executing concurrently)")
+	scale := flag.String("scale", "small", "trace scale: tiny, small, full")
+	seed := flag.Int64("seed", 1, "BIM seed")
+	flag.Parse()
+
+	var app *valleymap.App
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		app, err = valleymap.ReadTraceCSV(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		spec, ok := valleymap.WorkloadByAbbr(strings.ToUpper(*bench))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+			os.Exit(2)
+		}
+		var sc valleymap.Scale
+		switch strings.ToLower(*scale) {
+		case "tiny":
+			sc = valleymap.ScaleTiny
+		case "full":
+			sc = valleymap.ScaleFull
+		default:
+			sc = valleymap.ScaleSmall
+		}
+		app = spec.Build(sc)
+	}
+	opt := valleymap.AnalysisOptions{Window: *window}
+	title := "physical addresses (BASE)"
+	if *scheme != "" {
+		m := valleymap.NewMapper(valleymap.Scheme(strings.ToUpper(*scheme)), valleymap.HynixGDDR5(), *seed)
+		opt.Transform = m.Map
+		title = fmt.Sprintf("after %s mapping", strings.ToUpper(*scheme))
+	}
+	prof := valleymap.AnalyzeApp(app, opt)
+
+	l := valleymap.HynixGDDR5()
+	fmt.Printf("%s (%s): window-based entropy of %s, w=%d, %d requests\n",
+		app.Name, app.Abbr, title, *window, prof.Requests)
+	fmt.Printf("layout: %s\n\n", l)
+	for b := 29; b >= 6; b-- {
+		field := ""
+		switch {
+		case b >= 18:
+			field = "row"
+		case b >= 14:
+			field = "col"
+		case b >= 10:
+			field = "BANK"
+		case b >= 8:
+			field = "CHAN"
+		default:
+			field = "col"
+		}
+		fmt.Printf("bit %2d %-4s %.3f %s\n", b, field, prof.PerBit[b], bar(prof.PerBit[b]))
+	}
+	chBank := []int{8, 9, 10, 11, 12, 13}
+	fmt.Printf("\nchannel+bank entropy: mean %.3f, min %.3f",
+		prof.Mean(chBank), prof.Min(chBank))
+	if prof.HasValley(chBank, 0.35, 0.6) {
+		fmt.Printf("  -> ENTROPY VALLEY")
+	}
+	fmt.Println()
+}

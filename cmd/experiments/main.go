@@ -1,0 +1,78 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-exp all|fig3|fig5|fig10|table2|suite|fig18|fig19|fig20|ablation]
+//	            [-scale tiny|small|full] [-seed N]
+//
+// "suite" renders Figures 11–17 from one valley-benchmark sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"valleymap"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, fig3, fig5, fig10, table2, suite, fig18, fig19, fig20, ablation")
+	scale := flag.String("scale", "small", "trace scale: tiny, small, full")
+	seed := flag.Int64("seed", 1, "BIM seed (1..3 are the paper's BIM-1..BIM-3)")
+	flag.Parse()
+
+	opt := valleymap.ExperimentOptions{Seed: *seed}
+	switch strings.ToLower(*scale) {
+	case "tiny":
+		opt.Scale = valleymap.ScaleTiny
+	case "small":
+		opt.Scale = valleymap.ScaleSmall
+	case "full":
+		opt.Scale = valleymap.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	out := os.Stdout
+	run := map[string]func(){
+		"fig3":   func() { valleymap.RenderFigure3(out) },
+		"fig5":   func() { valleymap.RenderFigure5(out, opt) },
+		"fig10":  func() { valleymap.RenderFigure10(out, opt) },
+		"table2": func() { valleymap.RenderTable2(out, opt) },
+		"suite": func() {
+			fmt.Fprintf(out, "Running the valley suite (10 benchmarks x 6 schemes, %s scale)...\n\n", *scale)
+			suite := valleymap.ValleySuite(opt)
+			valleymap.RenderSuiteFigures(out, suite)
+		},
+		"fig18": func() { valleymap.RenderFigure18(out, opt) },
+		"fig19": func() { valleymap.RenderFigure19(out, opt) },
+		"fig20": func() {
+			suite := valleymap.NonValleySuite(opt)
+			valleymap.RenderFigure20(out, suite)
+		},
+		"ablation": func() {
+			valleymap.RenderAblationBreadth(out, opt)
+			fmt.Fprintln(out)
+			valleymap.RenderAblationWindow(out, opt)
+		},
+	}
+
+	order := []string{"fig3", "fig5", "fig10", "table2", "suite", "fig18", "fig19", "fig20", "ablation"}
+	name := strings.ToLower(*exp)
+	if name == "all" {
+		for _, n := range order {
+			run[n]()
+			fmt.Fprintln(out)
+		}
+		return
+	}
+	f, ok := run[name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want one of all %s)\n", *exp, strings.Join(order, " "))
+		os.Exit(2)
+	}
+	f()
+}

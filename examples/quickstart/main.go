@@ -1,0 +1,78 @@
+// Quickstart reproduces the paper's Figure 2 worked example and then runs
+// the real pipeline once.
+//
+// Figure 2: an 8×8 grid of threads reads a row-major array. With
+// column-major thread-block allocation (TB-CM0), all eight requests of a
+// TB land on DRAM channel 0 — the two channel-select bits never vary.
+// Permutation-based mapping (PM) still clusters requests on two channels;
+// a Broad-strategy BIM restores perfect balance. We then demonstrate the
+// same effect on the full simulator with the MT benchmark.
+package main
+
+import (
+	"fmt"
+
+	"valleymap"
+)
+
+func channelHistogram(m valleymap.BIM, addrs []uint64) [4]int {
+	var h [4]int
+	for _, a := range addrs {
+		h[m.Apply(a)&3]++ // channel = the two least significant index bits
+	}
+	return h
+}
+
+func main() {
+	// --- Figure 2: the toy 6-bit example -------------------------------
+	// TB-RM2 (row-major) owns indices 16..23; TB-CM0 (column-major) owns
+	// indices 0, 8, 16, ..., 56. Addresses are the 6-bit element indices.
+	var tbRM2, tbCM0 []uint64
+	for i := 0; i < 8; i++ {
+		tbRM2 = append(tbRM2, uint64(16+i))
+		tbCM0 = append(tbCM0, uint64(8*i))
+	}
+
+	identity := valleymap.IdentityBIM(6)
+
+	// PM XORs each channel bit with one fixed neighboring bit (bits 2 and
+	// 3 here). TB-CM0's entropy lives in bits 3..5, so PM catches only
+	// bit 3 and the requests still cluster on channels 0 and 2.
+	pm := identity.
+		SetRow(0, 1<<0|1<<2).
+		SetRow(1, 1<<1|1<<3)
+
+	// The paper's Broad BIM (Figure 2c, bottom-right matrix).
+	broad := valleymap.NewBIM(6, []uint64{
+		1<<5 | 1<<4 | 1<<3 | 1<<0,
+		1<<5 | 1<<3 | 1<<1,
+		1 << 2, 1 << 3, 1 << 4, 1 << 5,
+	})
+
+	fmt.Println("Figure 2e — DRAM channel distribution (requests per channel)")
+	fmt.Printf("  %-22s ch0 ch1 ch2 ch3\n", "")
+	show := func(name string, m valleymap.BIM, addrs []uint64) {
+		h := channelHistogram(m, addrs)
+		fmt.Printf("  %-22s %3d %3d %3d %3d\n", name, h[0], h[1], h[2], h[3])
+	}
+	show("TB-RM2 (BASE)", identity, tbRM2)
+	show("TB-CM0 (BASE)", identity, tbCM0)
+	show("TB-CM0 (PM)", pm, tbCM0)
+	show("TB-CM0 (Broad BIM)", broad, tbCM0)
+
+	// The example address from the paper: 111000 -> 111001.
+	fmt.Printf("\n  BIM maps 111000 -> %06b (paper: 111001)\n\n", broad.Apply(0b111000))
+
+	// --- The same story on the full system -----------------------------
+	spec, _ := valleymap.WorkloadByAbbr("MT")
+	app := spec.Build(valleymap.ScaleTiny)
+	layout := valleymap.HynixGDDR5()
+	cfg := valleymap.BaselineConfig()
+
+	fmt.Println("Matrix Transpose (MT) on the simulated 12-SM GPU:")
+	base := valleymap.Simulate(app, valleymap.NewMapper(valleymap.BASE, layout, 1), cfg)
+	pae := valleymap.Simulate(app, valleymap.NewMapper(valleymap.PAE, layout, 1), cfg)
+	fmt.Printf("  BASE: %8v, channel-level parallelism %.2f\n", base.ExecTime, base.ChannelParallelism)
+	fmt.Printf("  PAE:  %8v, channel-level parallelism %.2f\n", pae.ExecTime, pae.ChannelParallelism)
+	fmt.Printf("  PAE speedup: %.2fx\n", float64(base.ExecTime)/float64(pae.ExecTime))
+}

@@ -1,0 +1,45 @@
+// Stacked3d reproduces the Section VI-D sensitivity study in miniature:
+// address mapping matters even more on 3D-stacked memory, where 2 channel
+// + 4 vault + 4 bank bits must all be randomized to exploit the much
+// larger number of parallel units.
+package main
+
+import (
+	"fmt"
+
+	"valleymap"
+)
+
+func main() {
+	l3d := valleymap.Stacked3D()
+	fmt.Printf("3D-stacked layout: %s\n", l3d)
+	fmt.Printf("  %d stacks x %d vault-banks per stack\n\n",
+		l3d.Channels(), l3d.BanksPerChannel())
+
+	// The 3D PAE BIM randomizes 10 bits (2 channel + 4 vault + 4 bank),
+	// as the paper specifies.
+	pae3d := valleymap.NewMapper(valleymap.PAE, l3d, 1)
+	gates, depth := pae3d.GateCost()
+	fmt.Printf("3D PAE mapper: %d XOR gates, depth %d\n\n", gates, depth)
+
+	benchmarks := []string{"MT", "SC", "SP", "BFS"}
+	fmt.Printf("%-6s %16s %16s %14s\n", "bench", "conv-12sm PAE", "3d-64sm PAE", "3d bank-par")
+	for _, abbr := range benchmarks {
+		spec, _ := valleymap.WorkloadByAbbr(abbr)
+		app := spec.Build(valleymap.ScaleTiny)
+
+		conv := valleymap.BaselineConfig()
+		convBase := valleymap.Simulate(app, valleymap.NewMapper(valleymap.BASE, conv.Layout, 1), conv)
+		convPAE := valleymap.Simulate(app, valleymap.NewMapper(valleymap.PAE, conv.Layout, 1), conv)
+
+		s3d := valleymap.Stacked3DConfig()
+		s3dBase := valleymap.Simulate(app, valleymap.NewMapper(valleymap.BASE, s3d.Layout, 1), s3d)
+		s3dPAE := valleymap.Simulate(app, valleymap.NewMapper(valleymap.PAE, s3d.Layout, 1), s3d)
+
+		fmt.Printf("%-6s %15.2fx %15.2fx %14.2f\n", abbr,
+			float64(convBase.ExecTime)/float64(convPAE.ExecTime),
+			float64(s3dBase.ExecTime)/float64(s3dPAE.ExecTime),
+			s3dPAE.BankParallelism)
+	}
+	fmt.Println("\nSpeedups are PAE over BASE on each system (Figure 18, rightmost group).")
+}

@@ -1,0 +1,346 @@
+package bim
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentity(t *testing.T) {
+	m := Identity(30)
+	if !m.IsIdentity() || !m.IsPermutation() || !m.Invertible() {
+		t.Fatal("identity properties violated")
+	}
+	for _, a := range []uint64{0, 1, 0x2AAAAAAA, 0x3FFFFFFF} {
+		if got := m.Apply(a); got != a {
+			t.Errorf("Apply(%#x) = %#x", a, got)
+		}
+	}
+	if g, d := m.GateCost(); g != 0 || d != 0 {
+		t.Errorf("identity gate cost = (%d,%d), want (0,0)", g, d)
+	}
+}
+
+func TestHighBitsPreserved(t *testing.T) {
+	m := Identity(8).SetRow(0, 0b11) // out0 = in0^in1
+	addr := uint64(0xFF00) | 0b10
+	got := m.Apply(addr)
+	if got>>8 != 0xFF {
+		t.Errorf("high bits clobbered: %#x", got)
+	}
+	if got&1 != 1 {
+		t.Errorf("out bit0 = %d, want 1", got&1)
+	}
+}
+
+// The Broad-strategy example of Figure 6d/6e: 5-bit address
+// [r2 r1 r0 c b] with c_out = r2^r1^r0^c and b_out = r1^r0^b.
+// Bit order: b=0, c=1, r0=2, r1=3, r2=4.
+func broadExample() Matrix {
+	m := Identity(5)
+	m = m.SetRow(1, 1<<4|1<<3|1<<2|1<<1) // c' = r2^r1^r0^c
+	m = m.SetRow(0, 1<<3|1<<2|1<<0)      // b' = r1^r0^b
+	return m
+}
+
+func TestBroadExampleFigure6(t *testing.T) {
+	m := broadExample()
+	if !m.Invertible() {
+		t.Fatal("Figure 6d matrix must be invertible")
+	}
+	// Paper Figure 2c-style check: input 111000 truncated to 5 bits.
+	// in = r2=1 r1=1 r0=1 c=0 b=0 -> c' = 1^1^1^0 = 1, b' = 1^1^0 = 0.
+	in := uint64(0b11100)
+	out := m.Apply(in)
+	if out != 0b11110 {
+		t.Errorf("Apply(%05b) = %05b, want 11110", in, out)
+	}
+	inv, err := m.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 32; a++ {
+		if inv.Apply(m.Apply(a)) != a {
+			t.Errorf("round trip failed for %05b", a)
+		}
+	}
+	gates, depth := m.GateCost()
+	if gates != 5 { // 3 XORs for c', 2 for b'
+		t.Errorf("gates = %d, want 5", gates)
+	}
+	if depth != 2 {
+		t.Errorf("depth = %d, want 2", depth)
+	}
+}
+
+func TestFigure2BIM(t *testing.T) {
+	// The 6×6 BIM of Figure 2 (MSB-first rows):
+	//   1 0 0 0 0 0 / 0 1 0 0 0 0 / 0 0 1 0 0 0 /
+	//   0 0 0 1 0 0 / 1 0 1 0 1 0 / 1 1 1 0 0 1
+	// With bit 5 = MSB. Row for out bit1 = in5^in3^in1; out bit0 = in5^in4^in3^in0.
+	rows := []uint64{
+		1<<5 | 1<<4 | 1<<3 | 1<<0,
+		1<<5 | 1<<3 | 1<<1,
+		1 << 2,
+		1 << 3,
+		1 << 4,
+		1 << 5,
+	}
+	m := New(6, rows)
+	if !m.Invertible() {
+		t.Fatal("Figure 2 BIM must be invertible")
+	}
+	// Paper: address 111000 maps to 111001.
+	if got := m.Apply(0b111000); got != 0b111001 {
+		t.Errorf("Apply(111000) = %06b, want 111001", got)
+	}
+	// TB-CM0 addresses are k<<3 for k=0..7; their mapped channel bits
+	// (bits 1:0) must be perfectly balanced: each channel exactly twice.
+	var count [4]int
+	for k := uint64(0); k < 8; k++ {
+		count[m.Apply(k<<3)&3]++
+	}
+	for ch, c := range count {
+		if c != 2 {
+			t.Errorf("channel %d got %d requests, want 2 (perfect balance)", ch, c)
+		}
+	}
+}
+
+func TestRankAndSingular(t *testing.T) {
+	m := Identity(4).SetRow(3, 1<<2) // rows 2 and 3 identical
+	if m.Invertible() {
+		t.Fatal("duplicate rows should be singular")
+	}
+	if r := m.Rank(); r != 3 {
+		t.Errorf("rank = %d, want 3", r)
+	}
+	if _, err := m.Inverse(); err != ErrSingular {
+		t.Errorf("Inverse err = %v, want ErrSingular", err)
+	}
+	zero := New(3, []uint64{0, 0, 0})
+	if zero.Rank() != 0 {
+		t.Errorf("zero matrix rank = %d", zero.Rank())
+	}
+}
+
+func TestMulComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := RandomConstrained(rng, 12, []int{0, 1, 2, 3}, dimMask(12))
+	b := RandomConstrained(rng, 12, []int{4, 5, 6}, dimMask(12))
+	ab := a.Mul(b)
+	for i := 0; i < 200; i++ {
+		x := rng.Uint64() & dimMask(12)
+		if ab.Apply(x) != a.Apply(b.Apply(x)) {
+			t.Fatalf("composition mismatch at %#x", x)
+		}
+	}
+	if !ab.Invertible() {
+		t.Error("product of invertible matrices must be invertible")
+	}
+}
+
+func TestIsPermutation(t *testing.T) {
+	p := Identity(4)
+	p = p.SetRow(0, 1<<2).SetRow(2, 1<<0)
+	if !p.IsPermutation() || !p.Invertible() {
+		t.Error("bit swap should be a permutation and invertible")
+	}
+	np := Identity(4).SetRow(0, 0b11)
+	if np.IsPermutation() {
+		t.Error("two-input row is not a permutation")
+	}
+	dup := New(2, []uint64{1, 1})
+	if dup.IsPermutation() {
+		t.Error("duplicated column is not a permutation")
+	}
+}
+
+func TestRandomConstrainedRespectsConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 30
+	outBits := []int{8, 9, 10, 11, 12, 13}
+	inMask := uint64(0x3FFC3F00) // row 29..18 | bank 13..10 | ch 9..8
+	for trial := 0; trial < 25; trial++ {
+		m := RandomConstrained(rng, n, outBits, inMask)
+		if !m.Invertible() {
+			t.Fatal("generated matrix not invertible")
+		}
+		out := map[int]bool{}
+		for _, b := range outBits {
+			out[b] = true
+		}
+		for i := 0; i < n; i++ {
+			if out[i] {
+				if m.Row(i) == 0 {
+					t.Errorf("row %d empty", i)
+				}
+				if m.Row(i)&^inMask != 0 {
+					t.Errorf("row %d draws from outside input mask: %#x", i, m.Row(i))
+				}
+			} else if m.Row(i) != 1<<uint(i) {
+				t.Errorf("row %d should stay identity, got %#x", i, m.Row(i))
+			}
+		}
+	}
+}
+
+func TestRandomConstrainedDeterministic(t *testing.T) {
+	a := RandomConstrained(rand.New(rand.NewSource(5)), 30, []int{8, 9}, dimMask(30)&^0x3F)
+	b := RandomConstrained(rand.New(rand.NewSource(5)), 30, []int{8, 9}, dimMask(30)&^0x3F)
+	if !a.Equal(b) {
+		t.Error("same seed must give same matrix")
+	}
+	c := RandomConstrained(rand.New(rand.NewSource(6)), 30, []int{8, 9}, dimMask(30)&^0x3F)
+	if a.Equal(c) {
+		t.Error("different seeds should (overwhelmingly) differ")
+	}
+}
+
+// Property: every generated constrained matrix is a bijection on sampled
+// addresses (inverse round-trips), for arbitrary seeds.
+func TestInverseRoundTripProperty(t *testing.T) {
+	f := func(seed int64, samples []uint32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := RandomConstrained(rng, 30, []int{8, 9, 10, 11, 12, 13}, dimMask(30)&^uint64(0x3F))
+		inv, err := m.Inverse()
+		if err != nil {
+			return false
+		}
+		for _, s := range samples {
+			a := uint64(s) & dimMask(30)
+			if inv.Apply(m.Apply(a)) != a || m.Apply(inv.Apply(a)) != a {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Apply is linear over GF(2): M(a^b) = M(a)^M(b) within dimension.
+func TestApplyLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	m := RandomConstrained(rng, 30, []int{8, 9, 10, 11}, dimMask(30))
+	f := func(a, b uint32) bool {
+		x := uint64(a) & dimMask(30)
+		y := uint64(b) & dimMask(30)
+		return m.Apply(x^y) == m.Apply(x)^m.Apply(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: invertible mapping applied to all 2^10 addresses of a small
+// matrix is a permutation (no collisions).
+func TestBijectionExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := RandomConstrained(rng, 10, []int{2, 3, 4, 5}, dimMask(10))
+	seen := make(map[uint64]bool, 1024)
+	for a := uint64(0); a < 1024; a++ {
+		o := m.Apply(a)
+		if seen[o] {
+			t.Fatalf("collision at output %#x", o)
+		}
+		seen[o] = true
+	}
+	if len(seen) != 1024 {
+		t.Fatalf("only %d distinct outputs", len(seen))
+	}
+}
+
+func TestString(t *testing.T) {
+	m := Identity(3)
+	want := "1 0 0\n0 1 0\n0 0 1"
+	if got := m.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, nil) },
+		func() { New(65, make([]uint64, 65)) },
+		func() { New(3, []uint64{1, 2}) },
+		func() { New(3, []uint64{1, 2, 8}) }, // bit 3 out of a 3-bit matrix
+		func() { Identity(4).SetRow(0, 1<<4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGateCostDepth(t *testing.T) {
+	// 4-input XOR: 3 gates, depth 2. 5-input: 4 gates, depth 3.
+	m4 := Identity(8).SetRow(0, 0b1111)
+	if g, d := m4.GateCost(); g != 3 || d != 2 {
+		t.Errorf("4-input cost = (%d,%d), want (3,2)", g, d)
+	}
+	m5 := Identity(8).SetRow(0, 0b11111)
+	if g, d := m5.GateCost(); g != 4 || d != 3 {
+		t.Errorf("5-input cost = (%d,%d), want (4,3)", g, d)
+	}
+}
+
+func BenchmarkApply30(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := RandomConstrained(rng, 30, []int{8, 9, 10, 11, 12, 13}, dimMask(30)&^uint64(0x3F))
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= m.Apply(uint64(i) & dimMask(30))
+	}
+	_ = sink
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	m := RandomConstrained(rng, 30, []int{8, 9, 10, 11, 12, 13}, dimMask(30)&^uint64(0x3F))
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Matrix
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(back) {
+		t.Error("JSON round trip changed the matrix")
+	}
+	if !back.Invertible() {
+		t.Error("decoded matrix lost invertibility")
+	}
+}
+
+func TestJSONValidation(t *testing.T) {
+	bad := []string{
+		`{"n":0,"rows":[]}`,
+		`{"n":3,"rows":["0x1","0x2"]}`,
+		`{"n":3,"rows":["0x1","0x2","0x8"]}`, // bit 3 out of range
+		`{"n":70,"rows":[]}`,
+		`{"n":2,"rows":["zz","0x1"]}`,
+	}
+	for _, s := range bad {
+		var m Matrix
+		if err := json.Unmarshal([]byte(s), &m); err == nil {
+			t.Errorf("accepted %s", s)
+		}
+	}
+	var m Matrix
+	if err := json.Unmarshal([]byte(`{"n":2,"rows":["0x2","0x1"]}`), &m); err != nil {
+		t.Fatalf("valid matrix rejected: %v", err)
+	}
+	if m.Apply(0b01) != 0b10 {
+		t.Error("decoded swap matrix misbehaves")
+	}
+}

@@ -1,0 +1,53 @@
+package bim
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// wire is the serialized form of a Matrix: the dimension plus one
+// hex-encoded input mask per output bit. This is the format handed to
+// hardware generators (each row is the select mask of one XOR tree).
+type wire struct {
+	N    int      `json:"n"`
+	Rows []string `json:"rows"`
+}
+
+// MarshalJSON encodes the matrix as {"n":30,"rows":["0x...", ...]}.
+func (m Matrix) MarshalJSON() ([]byte, error) {
+	w := wire{N: m.n, Rows: make([]string, m.n)}
+	for i, r := range m.rows {
+		w.Rows[i] = fmt.Sprintf("%#x", r)
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes a matrix and validates dimensions and row masks;
+// it does not require invertibility (callers may want to inspect a
+// rejected candidate), so check Invertible separately.
+func (m *Matrix) UnmarshalJSON(data []byte) error {
+	var w wire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if w.N <= 0 || w.N > MaxBits {
+		return fmt.Errorf("bim: dimension %d out of range", w.N)
+	}
+	if len(w.Rows) != w.N {
+		return fmt.Errorf("bim: %d rows for dimension %d", len(w.Rows), w.N)
+	}
+	rows := make([]uint64, w.N)
+	for i, s := range w.Rows {
+		var v uint64
+		if _, err := fmt.Sscanf(s, "%v", &v); err != nil {
+			return fmt.Errorf("bim: row %d: %v", i, err)
+		}
+		if v&^dimMask(w.N) != 0 {
+			return fmt.Errorf("bim: row %d mask %#x exceeds dimension %d", i, v, w.N)
+		}
+		rows[i] = v
+	}
+	m.n = w.N
+	m.rows = rows
+	return nil
+}

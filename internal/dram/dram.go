@@ -1,0 +1,313 @@
+// Package dram models the GDDR5 memory system of Table I: per-channel
+// memory controllers with FR-FCFS scheduling [Rixner et al.], open-page
+// row-buffer policy, banked DRAM timing (CL-tRCD-tRP = 12-12-12 at
+// 924 MHz), a shared per-channel data bus, and the 3D-stacked variant of
+// Section VI-D (stacks × vaults × banks behind TSVs).
+//
+// The model is event-driven: each bank serves one command sequence at a
+// time, row hits cost a CAS, row misses cost PRE+ACT+CAS bounded by tRC,
+// and completed bursts serialize on the channel data bus. This captures
+// everything the paper measures at the DRAM level — row-buffer hit rate
+// (Figure 15), bank-/channel-level parallelism (Figure 14) and the
+// activate-dominated power differences (Figure 16).
+package dram
+
+import (
+	"fmt"
+
+	"valleymap/internal/layout"
+	"valleymap/internal/sim"
+)
+
+// Timing holds DRAM timing in DRAM command-clock cycles.
+type Timing struct {
+	Clock sim.Clock
+	// CL is the CAS (read/write) latency; TRCD row-to-column delay;
+	// TRP precharge time; TRC minimum ACT-to-ACT interval to one bank.
+	CL, TRCD, TRP, TRC int
+	// BurstCycles is the data-bus occupancy of one 128 B transaction.
+	BurstCycles int
+}
+
+// HynixGDDR5Timing returns Table I's 924 MHz 12-12-12 timing. One 128 B
+// transaction occupies the 32 B/cycle channel for 4 cycles
+// (118.3 GB/s ÷ 4 channels ≈ 29.6 GB/s ≈ 32 B per 924 MHz cycle).
+func HynixGDDR5Timing() Timing {
+	return Timing{
+		Clock:       sim.ClockFromMHz(924),
+		CL:          12,
+		TRCD:        12,
+		TRP:         12,
+		TRC:         40,
+		BurstCycles: 4,
+	}
+}
+
+// Stacked3DTiming returns the 3D-stacked configuration of Section VI-D:
+// the same array timings but a much wider TSV data path (640 GB/s over 4
+// stacks ≈ 173 B per cycle), modeled as single-cycle bursts.
+func Stacked3DTiming() Timing {
+	t := HynixGDDR5Timing()
+	t.BurstCycles = 1
+	return t
+}
+
+// Config describes one memory system.
+type Config struct {
+	// Layout decodes mapped addresses into channel/bank/row coordinates.
+	Layout layout.Layout
+	Timing Timing
+}
+
+// Request is one line-granular DRAM transaction on a *mapped* address.
+type Request struct {
+	Addr  uint64
+	Write bool
+	// Done is invoked exactly once when the data burst completes.
+	Done func(done sim.Time)
+
+	arrive sim.Time
+	row    int
+	bank   int
+}
+
+// Stats aggregates controller counters.
+type Stats struct {
+	Reads, Writes         int64
+	RowHits, RowMisses    int64
+	Activations           int64
+	AvgQueueLatencyCycles float64 // arrival to burst completion, DRAM cycles
+}
+
+// RowBufferHitRate is Figure 15's metric.
+func (s Stats) RowBufferHitRate() float64 {
+	total := s.RowHits + s.RowMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
+}
+
+type bank struct {
+	openRow   int64 // -1 = closed
+	readyAt   sim.Time
+	lastAct   sim.Time
+	queue     []*Request
+	scheduled bool
+}
+
+// ParallelismProbe receives outstanding-count transitions for the
+// Figure 14 metrics; see the metrics package.
+type ParallelismProbe interface {
+	ChannelDelta(now sim.Time, channel int, delta int)
+	BankDelta(now sim.Time, channel, bank int, delta int)
+}
+
+// Controller is one memory channel: a bank array, an FR-FCFS picker per
+// bank queue, and a shared data bus.
+type Controller struct {
+	eng     *sim.Engine
+	cfg     Config
+	channel int
+	banks   []bank
+	bus     sim.Server
+	probe   ParallelismProbe
+
+	stats   Stats
+	latency sim.Welford
+}
+
+// NewController builds the controller for one channel.
+func NewController(eng *sim.Engine, cfg Config, channel int, probe ParallelismProbe) *Controller {
+	n := cfg.Layout.BanksPerChannel()
+	c := &Controller{eng: eng, cfg: cfg, channel: channel, probe: probe, banks: make([]bank, n)}
+	for i := range c.banks {
+		c.banks[i].openRow = -1
+		// Far enough in the past that the first ACT is never tRC-gated.
+		c.banks[i].lastAct = -(sim.Second << 8)
+	}
+	return c
+}
+
+// Stats returns a copy of the counters.
+func (c *Controller) Stats() Stats {
+	s := c.stats
+	s.AvgQueueLatencyCycles = c.latency.Mean()
+	return s
+}
+
+// QueuedRequests returns the number of requests currently queued or in
+// flight across all banks (diagnostic).
+func (c *Controller) QueuedRequests() int {
+	n := 0
+	for i := range c.banks {
+		n += len(c.banks[i].queue)
+	}
+	return n
+}
+
+// Enqueue admits a transaction. The layout decodes bank and row from the
+// (already mapped) address.
+func (c *Controller) Enqueue(r *Request) {
+	now := c.eng.Now()
+	r.arrive = now
+	r.row = c.cfg.Layout.RowOf(r.Addr)
+	r.bank = c.cfg.Layout.BankGlobal(r.Addr)
+	if r.bank >= len(c.banks) {
+		panic(fmt.Sprintf("dram: bank %d out of range (%d banks)", r.bank, len(c.banks)))
+	}
+	b := &c.banks[r.bank]
+	b.queue = append(b.queue, r)
+	if c.probe != nil {
+		c.probe.ChannelDelta(now, c.channel, +1)
+		c.probe.BankDelta(now, c.channel, r.bank, +1)
+	}
+	c.kick(r.bank, now)
+}
+
+// kick schedules or performs service on a bank.
+func (c *Controller) kick(bi int, now sim.Time) {
+	b := &c.banks[bi]
+	if b.scheduled || len(b.queue) == 0 {
+		return
+	}
+	if b.readyAt > now {
+		c.scheduleKick(bi, b.readyAt)
+		return
+	}
+	c.service(bi, now)
+}
+
+func (c *Controller) scheduleKick(bi int, at sim.Time) {
+	b := &c.banks[bi]
+	b.scheduled = true
+	c.eng.At(at, func() {
+		c.banks[bi].scheduled = false
+		c.kick(bi, c.eng.Now())
+	})
+}
+
+// service performs FR-FCFS selection and issues one request on bank bi.
+func (c *Controller) service(bi int, now sim.Time) {
+	b := &c.banks[bi]
+	t := c.cfg.Timing
+	cyc := func(n int) sim.Time { return t.Clock.Cycles(int64(n)) }
+
+	// FR-FCFS: oldest row hit first, else oldest request.
+	sel := -1
+	if b.openRow >= 0 {
+		for i, r := range b.queue {
+			if int64(r.row) == b.openRow {
+				sel = i
+				break
+			}
+		}
+	}
+	rowHit := sel >= 0
+	if sel < 0 {
+		sel = 0
+	}
+	r := b.queue[sel]
+
+	var dataReady sim.Time
+	if rowHit {
+		c.stats.RowHits++
+		dataReady = now + cyc(t.CL)
+		b.readyAt = now + cyc(t.BurstCycles)
+	} else {
+		// ACT-to-ACT distance to the same bank is bounded by tRC.
+		actAt := now
+		if b.openRow >= 0 {
+			actAt += cyc(t.TRP) // precharge the open row first
+		}
+		if min := b.lastAct + cyc(t.TRC); actAt < min {
+			// tRC not yet satisfied: retry when it is (sel is the queue
+			// head here, so nothing is reordered).
+			c.scheduleKick(bi, min)
+			return
+		}
+		c.stats.RowMisses++
+		c.stats.Activations++
+		b.lastAct = actAt
+		b.openRow = int64(r.row)
+		casAt := actAt + cyc(t.TRCD)
+		dataReady = casAt + cyc(t.CL)
+		b.readyAt = casAt + cyc(t.BurstCycles)
+	}
+
+	// Remove the selected request.
+	b.queue = append(b.queue[:sel], b.queue[sel+1:]...)
+
+	// The burst serializes on the channel data bus.
+	_, busDone := c.bus.Acquire(dataReady, cyc(t.BurstCycles))
+	if r.Write {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	done := busDone
+	c.latency.Observe(t.Clock.ToCycles(done - r.arrive))
+	ch, bank := c.channel, bi
+	c.eng.At(done, func() {
+		if c.probe != nil {
+			c.probe.ChannelDelta(done, ch, -1)
+			c.probe.BankDelta(done, ch, bank, -1)
+		}
+		if r.Done != nil {
+			r.Done(done)
+		}
+	})
+
+	// Keep draining the queue.
+	if len(b.queue) > 0 {
+		c.scheduleKick(bi, b.readyAt)
+	}
+}
+
+// BusUtilization reports the data-bus busy fraction over the horizon.
+func (c *Controller) BusUtilization(horizon sim.Time) float64 {
+	return c.bus.Utilization(horizon)
+}
+
+// System is the set of per-channel controllers.
+type System struct {
+	cfg         Config
+	Controllers []*Controller
+}
+
+// NewSystem builds controllers for every channel in the layout.
+func NewSystem(eng *sim.Engine, cfg Config, probe ParallelismProbe) *System {
+	s := &System{cfg: cfg}
+	for ch := 0; ch < cfg.Layout.Channels(); ch++ {
+		s.Controllers = append(s.Controllers, NewController(eng, cfg, ch, probe))
+	}
+	return s
+}
+
+// Enqueue routes a transaction to its channel controller.
+func (s *System) Enqueue(r *Request) {
+	ch := s.cfg.Layout.ChannelOf(r.Addr)
+	s.Controllers[ch].Enqueue(r)
+}
+
+// Stats sums controller counters.
+func (s *System) Stats() Stats {
+	var out Stats
+	var latSum float64
+	var latN int64
+	for _, c := range s.Controllers {
+		st := c.Stats()
+		out.Reads += st.Reads
+		out.Writes += st.Writes
+		out.RowHits += st.RowHits
+		out.RowMisses += st.RowMisses
+		out.Activations += st.Activations
+		n := st.Reads + st.Writes
+		latSum += st.AvgQueueLatencyCycles * float64(n)
+		latN += n
+	}
+	if latN > 0 {
+		out.AvgQueueLatencyCycles = latSum / float64(latN)
+	}
+	return out
+}

@@ -1,0 +1,311 @@
+// Package entropy implements the window-based address-bit entropy metric
+// of "Get Out of the Valley" (ISCA 2018), Section III.
+//
+// GPU memory requests from concurrent Thread Blocks interleave
+// nondeterministically, so bit-flip-rate entropy estimators are
+// unreliable. The window-based metric instead:
+//
+//  1. computes, per TB and per address bit, the Bit Value Ratio (BVR) —
+//     the fraction of requests in which the bit is 1 (intra-TB entropy
+//     without ordering assumptions);
+//  2. slides a window of w TBs (w ≈ TBs executing concurrently ≈ number
+//     of SMs under GTO scheduling) across the TB sequence in dispatch
+//     order, and computes the Shannon entropy of the BVR-value
+//     distribution inside each window with log base v = the number of
+//     distinct BVR values (Equation 1);
+//  3. averages the n−w+1 window entropies into H* (Equation 2);
+//  4. averages per-kernel profiles weighted by request counts.
+package entropy
+
+import (
+	"math"
+
+	"valleymap/internal/trace"
+)
+
+// Ratio is an exact BVR: Ones one-bits observed out of Total requests.
+// Exact rationals avoid floating-point fuzz when counting distinct BVR
+// values inside a window.
+type Ratio struct {
+	Ones, Total int64
+}
+
+// Eq reports whether two ratios denote the same value (cross-multiplied,
+// so 1/2 equals 2/4). Ratios with Total == 0 are only equal to each other.
+func (r Ratio) Eq(o Ratio) bool {
+	if r.Total == 0 || o.Total == 0 {
+		return r.Total == o.Total
+	}
+	return r.Ones*o.Total == o.Ones*r.Total
+}
+
+// Value returns the BVR as a float in [0,1]; 0 when empty.
+func (r Ratio) Value() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Ones) / float64(r.Total)
+}
+
+// TBProfile is the per-TB summary the window metric consumes: one BVR per
+// address bit plus the TB's request count.
+type TBProfile struct {
+	ID       int
+	BVR      []Ratio
+	Requests int
+}
+
+// ProfileTB computes the BVR of every address bit across a TB's requests.
+func ProfileTB(tb *trace.TB, bits int) TBProfile {
+	p := TBProfile{ID: tb.ID, BVR: make([]Ratio, bits), Requests: len(tb.Requests)}
+	total := int64(len(tb.Requests))
+	ones := make([]int64, bits)
+	for _, req := range tb.Requests {
+		a := req.Addr
+		for a != 0 {
+			b := trailingZeros(a)
+			if b < bits {
+				ones[b]++
+			}
+			a &= a - 1
+		}
+	}
+	for i := 0; i < bits; i++ {
+		p.BVR[i] = Ratio{Ones: ones[i], Total: total}
+	}
+	return p
+}
+
+func trailingZeros(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// ShannonNormalized computes Equation 1: −Σ pᵢ log_v pᵢ with v = number of
+// probabilities. With v < 2 the entropy is 0 (a constant value carries no
+// information); with v == 2 this is the familiar base-2 entropy, so the
+// paper's footnote example {2/3, 1/3} yields 0.918.
+func ShannonNormalized(probs []float64) float64 {
+	v := len(probs)
+	if v < 2 {
+		return 0
+	}
+	h := 0.0
+	for _, p := range probs {
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h / math.Log(float64(v))
+}
+
+// windowEntropyBit computes the mean window entropy of a single bit given
+// the per-TB BVRs in dispatch order (Equation 2).
+func windowEntropyBit(bvrs []Ratio, w int) float64 {
+	n := len(bvrs)
+	if w <= 0 {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	windows := n - w + 1
+	if windows <= 0 {
+		return 0
+	}
+	sum := 0.0
+	// counts holds occurrences of each distinct BVR value in the window.
+	vals := make([]Ratio, 0, w)
+	counts := make([]int, 0, w)
+	probs := make([]float64, 0, w)
+	for start := 0; start < windows; start++ {
+		vals = vals[:0]
+		counts = counts[:0]
+		probs = probs[:0]
+	next:
+		for i := start; i < start+w; i++ {
+			for j, v := range vals {
+				if v.Eq(bvrs[i]) {
+					counts[j]++
+					continue next
+				}
+			}
+			vals = append(vals, bvrs[i])
+			counts = append(counts, 1)
+		}
+		for _, c := range counts {
+			probs = append(probs, float64(c)/float64(w))
+		}
+		sum += ShannonNormalized(probs)
+	}
+	return sum / float64(windows)
+}
+
+// Profile is a per-bit entropy distribution with the request weight that
+// produced it.
+type Profile struct {
+	// PerBit[i] is H* of address bit i, in [0,1].
+	PerBit []float64
+	// Requests is the number of memory requests the profile covers; it
+	// is the kernel weight in application-level aggregation.
+	Requests int
+}
+
+// WindowEntropy computes the per-bit window-based entropy H* over a
+// sequence of TB profiles sorted by TB ID (Equation 2).
+func WindowEntropy(tbs []TBProfile, window, bits int) Profile {
+	out := Profile{PerBit: make([]float64, bits)}
+	for _, tb := range tbs {
+		out.Requests += tb.Requests
+	}
+	if len(tbs) == 0 {
+		return out
+	}
+	col := make([]Ratio, len(tbs))
+	for b := 0; b < bits; b++ {
+		for i, tb := range tbs {
+			col[i] = tb.BVR[b]
+		}
+		out.PerBit[b] = windowEntropyBit(col, window)
+	}
+	return out
+}
+
+// Transform maps request addresses before profiling; nil means identity.
+// It lets one compute post-mapping entropy distributions (Figure 10).
+type Transform func(uint64) uint64
+
+// KernelProfile computes the window entropy of one kernel, optionally
+// after an address transform.
+func KernelProfile(k *trace.Kernel, window, bits int, f Transform) Profile {
+	tbs := make([]TBProfile, 0, len(k.TBs))
+	for i := range k.TBs {
+		tb := &k.TBs[i]
+		if f == nil {
+			tbs = append(tbs, ProfileTB(tb, bits))
+		} else {
+			mapped := trace.TB{ID: tb.ID, Requests: make([]trace.Request, len(tb.Requests))}
+			for j, r := range tb.Requests {
+				r.Addr = f(r.Addr)
+				mapped.Requests[j] = r
+			}
+			tbs = append(tbs, ProfileTB(&mapped, bits))
+		}
+	}
+	return WindowEntropy(tbs, window, bits)
+}
+
+// AppProfile computes the application-level entropy distribution: the
+// per-kernel profiles weighted by each kernel's request count
+// (Section III-A). TBs of different kernels never share a window because
+// kernels do not co-execute.
+func AppProfile(a *trace.App, window, bits int, f Transform) Profile {
+	out := Profile{PerBit: make([]float64, bits)}
+	for ki := range a.Kernels {
+		kp := KernelProfile(&a.Kernels[ki], window, bits, f)
+		for b := range out.PerBit {
+			out.PerBit[b] += kp.PerBit[b] * float64(kp.Requests)
+		}
+		out.Requests += kp.Requests
+	}
+	if out.Requests > 0 {
+		for b := range out.PerBit {
+			out.PerBit[b] /= float64(out.Requests)
+		}
+	}
+	return out
+}
+
+// Mean returns the average entropy over the given bit positions.
+func (p Profile) Mean(positions []int) float64 {
+	if len(positions) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, b := range positions {
+		s += p.PerBit[b]
+	}
+	return s / float64(len(positions))
+}
+
+// Min returns the minimum entropy over the given bit positions (1 if the
+// list is empty).
+func (p Profile) Min(positions []int) float64 {
+	min := 1.0
+	for _, b := range positions {
+		if p.PerBit[b] < min {
+			min = p.PerBit[b]
+		}
+	}
+	return min
+}
+
+// ChannelBankValley applies the paper's qualitative Figure 5
+// classification: the workload has an entropy valley when the channel
+// bits are (near-)dead, or at least two bank bits are, while high-entropy
+// bits exist above the candidate range. Single dead bank bits are common
+// even in the paper's non-valley group and do not count.
+func (p Profile) ChannelBankValley(chBits, bankBits []int, low, high float64) bool {
+	deadCh := false
+	for _, b := range chBits {
+		if p.PerBit[b] <= low {
+			deadCh = true
+			break
+		}
+	}
+	deadBanks := 0
+	for _, b := range bankBits {
+		if p.PerBit[b] <= low {
+			deadBanks++
+		}
+	}
+	if !deadCh && deadBanks < 2 {
+		return false
+	}
+	// A valley needs harvestable entropy above it (Section III-B).
+	maxBit := 0
+	for _, b := range append(append([]int(nil), chBits...), bankBits...) {
+		if b > maxBit {
+			maxBit = b
+		}
+	}
+	for b := maxBit + 1; b < len(p.PerBit); b++ {
+		if p.PerBit[b] >= high {
+			return true
+		}
+	}
+	return false
+}
+
+// HasValley reports whether the profile exhibits an entropy valley over
+// the candidate bits: some candidate bit falls below the low threshold
+// while higher-order bits reach the high threshold — i.e. entropy exists
+// in the address but not where channel/bank selection needs it.
+func (p Profile) HasValley(candidateBits []int, low, high float64) bool {
+	valley := false
+	for _, b := range candidateBits {
+		if p.PerBit[b] <= low {
+			valley = true
+			break
+		}
+	}
+	if !valley {
+		return false
+	}
+	maxBit := 0
+	for _, b := range candidateBits {
+		if b > maxBit {
+			maxBit = b
+		}
+	}
+	for b := maxBit + 1; b < len(p.PerBit); b++ {
+		if p.PerBit[b] >= high {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"valleymap/internal/gpusim"
+	"valleymap/internal/mapping"
+	"valleymap/internal/workload"
+)
+
+// TestDiagDump prints per-scheme diagnostics for tuning; enable with
+// VALLEYMAP_DIAG=1.
+func TestDiagDump(t *testing.T) {
+	if os.Getenv("VALLEYMAP_DIAG") == "" {
+		t.Skip("set VALLEYMAP_DIAG=1 to dump diagnostics")
+	}
+	cfg := gpusim.Baseline()
+	for _, abbr := range []string{"MT", "LU", "GS", "NW", "SC", "SP"} {
+		spec, _ := workload.ByAbbr(abbr)
+		app := spec.Build(workload.Tiny)
+		fmt.Printf("%s:\n", abbr)
+		var baseT float64
+		for _, s := range mapping.Schemes() {
+			m := mapping.MustNew(s, cfg.Layout, mapping.Options{Seed: 1})
+			r := gpusim.Run(app, m, cfg)
+			if s == mapping.BASE {
+				baseT = float64(r.ExecTime)
+			}
+			fmt.Printf("  %-4s speedup=%5.2f acts=%6d rbhit=%.2f dramR=%6d dramW=%6d P=%6.2fW chPar=%.2f bkPar=%.2f nocLat=%6.1f llcMiss=%.2f\n",
+				s, baseT/float64(r.ExecTime), r.DRAM.Activations, r.DRAM.RowBufferHitRate(),
+				r.DRAM.Reads, r.DRAM.Writes, r.DRAMPower.Total(), r.ChannelParallelism, r.BankParallelism,
+				r.NoCAvgLatencyCycles, r.LLC.MissRate())
+		}
+	}
+}

@@ -1,0 +1,5 @@
+package experiments
+
+import "valleymap/internal/gpusim"
+
+func baselineCfg() gpusim.Config { return gpusim.Baseline() }

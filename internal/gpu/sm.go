@@ -1,0 +1,317 @@
+// Package gpu models the Streaming Multiprocessors of Table I: per-SM
+// warps paced by compute gaps, a greedy-then-oldest-flavored load/store
+// unit, the memory coalescer, a 16 KB L1 data cache with 32 MSHRs, and
+// TB-granular occupancy. SMs issue line-granular transactions into a
+// Fabric (NoC → LLC → DRAM) supplied by the system model.
+package gpu
+
+import (
+	"valleymap/internal/cache"
+	"valleymap/internal/sim"
+	"valleymap/internal/trace"
+)
+
+// Transaction is one coalesced, mapped, line-aligned memory transaction.
+type Transaction struct {
+	Addr  uint64
+	Write bool
+}
+
+// WarpProgram is the memory-side program of one warp: a sequence of
+// memory instructions, each of which expands to one or more transactions
+// (32 for fully diverged accesses, 1 for fully coalesced ones).
+type WarpProgram struct {
+	Instrs [][]Transaction
+}
+
+// BuildPrograms converts a (raw, per-thread) TB trace into per-warp
+// programs: requests are coalesced into lineBytes transactions per
+// warp-instruction and each transaction address is passed through
+// mapAddr — the BIM address mapper sits directly after the coalescer
+// (Section IV). mapAddr may be nil for the identity mapping.
+func BuildPrograms(tb *trace.TB, warps, lineBytes int, mapAddr func(uint64) uint64) []WarpProgram {
+	progs := make([]WarpProgram, warps)
+	co := trace.CoalesceTB(tb, lineBytes)
+	i := 0
+	reqs := co.Requests
+	for i < len(reqs) {
+		j := i
+		for j < len(reqs) && reqs[j].Warp == reqs[i].Warp && reqs[j].Kind == reqs[i].Kind {
+			j++
+		}
+		w := int(reqs[i].Warp)
+		if w >= 0 && w < warps {
+			instr := make([]Transaction, 0, j-i)
+			for _, r := range reqs[i:j] {
+				addr := r.Addr
+				if mapAddr != nil {
+					addr = mapAddr(addr)
+				}
+				instr = append(instr, Transaction{Addr: addr, Write: r.Kind == trace.Write})
+			}
+			progs[w].Instrs = append(progs[w].Instrs, instr)
+		}
+		i = j
+	}
+	return progs
+}
+
+// Fabric is the memory system below the SM, provided by gpusim.
+type Fabric interface {
+	// IssueRead injects a read transaction from an SM; done fires when
+	// the data returns to the SM.
+	IssueRead(now sim.Time, sm int, addr uint64, done func(sim.Time))
+	// IssueWrite injects a write transaction; stores do not block warps.
+	IssueWrite(now sim.Time, sm int, addr uint64)
+}
+
+// Config parameterizes one SM.
+type Config struct {
+	CoreClock sim.Clock
+	L1        cache.Config
+	// L1HitCycles is the load-to-use latency of an L1 hit.
+	L1HitCycles int
+	// MSHRs bounds outstanding L1 misses (32 in Table I).
+	MSHRs int
+	// MaxTBs is the TB occupancy limit of the SM.
+	MaxTBs int
+	// IssueStaggerCycles separates the first issue of sibling warps.
+	IssueStaggerCycles int
+}
+
+// DefaultConfig returns Table I's SM parameters.
+func DefaultConfig() Config {
+	return Config{
+		CoreClock:          sim.ClockFromMHz(1400),
+		L1:                 cache.L1Config(),
+		L1HitCycles:        28,
+		MSHRs:              32,
+		MaxTBs:             8,
+		IssueStaggerCycles: 4,
+	}
+}
+
+// Stats aggregates per-SM counters.
+type Stats struct {
+	L1            cache.Stats
+	Transactions  int64
+	ReadTx        int64
+	WriteTx       int64
+	MSHRStallTime sim.Time
+	TBsCompleted  int64
+}
+
+type warpState struct {
+	prog     *WarpProgram
+	instrIdx int
+	tb       *tbRun
+	id       int
+}
+
+type tbRun struct {
+	warpsLeft  int
+	onComplete func(now sim.Time)
+}
+
+type pendingLine struct {
+	waiters []func(sim.Time)
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	ID     int
+	cfg    Config
+	eng    *sim.Engine
+	fabric Fabric
+
+	l1      *cache.Cache
+	mshr    *cache.MSHRFile
+	pending map[uint64]*pendingLine
+	lsu     sim.Server
+
+	// stalled holds read transactions refused by a full MSHR file, in
+	// arrival order; they retry as entries free.
+	stalled []stalledTx
+
+	activeTBs int
+	stats     Stats
+}
+
+type stalledTx struct {
+	addr  uint64
+	since sim.Time
+	done  func(sim.Time)
+}
+
+// New builds an SM.
+func New(eng *sim.Engine, id int, cfg Config, fabric Fabric) *SM {
+	return &SM{
+		ID:      id,
+		cfg:     cfg,
+		eng:     eng,
+		fabric:  fabric,
+		l1:      cache.MustNew(cfg.L1),
+		mshr:    cache.NewMSHRFile(cfg.MSHRs),
+		pending: make(map[uint64]*pendingLine),
+	}
+}
+
+// Stats returns a copy of the SM's counters.
+func (s *SM) Stats() Stats {
+	st := s.stats
+	st.L1 = s.l1.Stats()
+	return st
+}
+
+// ActiveTBs returns current TB occupancy.
+func (s *SM) ActiveTBs() int { return s.activeTBs }
+
+// CanAccept reports whether a new TB fits.
+func (s *SM) CanAccept() bool { return s.activeTBs < s.cfg.MaxTBs }
+
+// LaunchTB starts a TB built from per-warp programs. gapCycles is the
+// compute time between a warp's memory instructions; onComplete fires
+// when every warp has issued its last instruction and all its reads have
+// returned.
+func (s *SM) LaunchTB(progs []WarpProgram, gapCycles int, onComplete func(now sim.Time)) {
+	s.activeTBs++
+	run := &tbRun{onComplete: onComplete}
+	now := s.eng.Now()
+	launched := 0
+	for w := range progs {
+		if len(progs[w].Instrs) == 0 {
+			continue
+		}
+		launched++
+	}
+	if launched == 0 {
+		// Degenerate TB with no memory instructions: completes after one
+		// compute gap.
+		s.eng.Schedule(s.cfg.CoreClock.Cycles(int64(gapCycles)), func() {
+			s.finishTB(run)
+		})
+		run.warpsLeft = 1
+		return
+	}
+	run.warpsLeft = launched
+	for w := range progs {
+		if len(progs[w].Instrs) == 0 {
+			continue
+		}
+		ws := &warpState{prog: &progs[w], tb: run, id: w}
+		stagger := s.cfg.CoreClock.Cycles(int64(w * s.cfg.IssueStaggerCycles))
+		s.eng.At(now+stagger, func() { s.advance(ws, gapCycles) })
+	}
+}
+
+func (s *SM) finishTB(run *tbRun) {
+	run.warpsLeft--
+	if run.warpsLeft == 0 {
+		s.activeTBs--
+		s.stats.TBsCompleted++
+		if run.onComplete != nil {
+			run.onComplete(s.eng.Now())
+		}
+	}
+}
+
+// advance issues the warp's next memory instruction: every transaction
+// acquires the LSU (one per core cycle, so a fully diverged instruction
+// occupies the LSU for 32 cycles — the greedy half of GTO), reads then
+// traverse L1/MSHR/fabric. When the last read returns, the warp computes
+// for gapCycles and advances again.
+func (s *SM) advance(ws *warpState, gapCycles int) {
+	if ws.instrIdx >= len(ws.prog.Instrs) {
+		s.finishTB(ws.tb)
+		return
+	}
+	instr := ws.prog.Instrs[ws.instrIdx]
+	ws.instrIdx++
+	now := s.eng.Now()
+
+	outstanding := 1 // sentinel so callbacks during issue don't complete early
+	var lastDone sim.Time
+	finishOne := func(t sim.Time) {
+		if t > lastDone {
+			lastDone = t
+		}
+		outstanding--
+		if outstanding == 0 {
+			gap := s.cfg.CoreClock.Cycles(int64(gapCycles))
+			at := lastDone + gap
+			if at < s.eng.Now() {
+				at = s.eng.Now()
+			}
+			s.eng.At(at, func() { s.advance(ws, gapCycles) })
+		}
+	}
+
+	for _, tx := range instr {
+		tx := tx
+		_, grant := s.lsu.Acquire(now, s.cfg.CoreClock.Cycles(1))
+		s.stats.Transactions++
+		if tx.Write {
+			s.stats.WriteTx++
+			// Stores are fire-and-forget through the write buffer; they
+			// bypass the L1 (write-through, no-allocate for global data)
+			// and do not block the warp.
+			s.eng.At(grant, func() { s.fabric.IssueWrite(s.eng.Now(), s.ID, tx.Addr) })
+			continue
+		}
+		s.stats.ReadTx++
+		outstanding++
+		s.eng.At(grant, func() { s.read(tx.Addr, finishOne) })
+	}
+	// Retire the sentinel. If everything hit or the instruction was all
+	// stores, the warp proceeds after the issue cycles alone.
+	finishOne(now)
+}
+
+// read performs the L1 lookup path for one read transaction.
+func (s *SM) read(addr uint64, done func(sim.Time)) {
+	now := s.eng.Now()
+	line := addr &^ uint64(s.cfg.L1.LineBytes-1)
+
+	// A miss already in flight: merge regardless of tag-array state.
+	if p, ok := s.pending[line]; ok {
+		s.mshr.Add(line)
+		p.waiters = append(p.waiters, done)
+		return
+	}
+	if s.l1.Probe(line) {
+		s.l1.Access(line, false) // update LRU and stats
+		done(now + s.cfg.CoreClock.Cycles(int64(s.cfg.L1HitCycles)))
+		return
+	}
+	// Primary miss. Check MSHR capacity before touching the tag array:
+	// installing the line and then stalling would let the retry "hit"
+	// without ever fetching the data.
+	if s.mshr.Full() {
+		s.stalled = append(s.stalled, stalledTx{addr: addr, since: now, done: done})
+		return
+	}
+	s.l1.Access(line, false) // allocate; write-through L1 victims are clean
+	s.mshr.Add(line)
+	p := &pendingLine{waiters: []func(sim.Time){done}}
+	s.pending[line] = p
+	s.fabric.IssueRead(now, s.ID, line, func(fill sim.Time) { s.fill(line, fill) })
+}
+
+// fill completes an outstanding miss: wake waiters and retry stalled
+// transactions now that an MSHR entry is free.
+func (s *SM) fill(line uint64, at sim.Time) {
+	p := s.pending[line]
+	delete(s.pending, line)
+	s.mshr.Complete(line)
+	if p != nil {
+		for _, w := range p.waiters {
+			w(at)
+		}
+	}
+	for len(s.stalled) > 0 && !s.mshr.Full() {
+		tx := s.stalled[0]
+		s.stalled = s.stalled[1:]
+		s.stats.MSHRStallTime += at - tx.since
+		s.read(tx.addr, tx.done)
+	}
+}

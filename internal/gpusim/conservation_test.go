@@ -1,0 +1,87 @@
+package gpusim
+
+import (
+	"testing"
+
+	"valleymap/internal/mapping"
+	"valleymap/internal/workload"
+)
+
+// TestTrafficConservation checks flow invariants end to end for every
+// benchmark under two schemes: transactions split into reads and writes,
+// L1 read hits+misses cover L1 accesses, every LLC read miss produces at
+// most one DRAM read (MSHR-less LLC refetches are impossible because
+// lines install on access), and DRAM writes are bounded by LLC
+// write-allocations plus writebacks.
+func TestTrafficConservation(t *testing.T) {
+	cfg := Baseline()
+	for _, spec := range workload.Catalog() {
+		app := spec.Build(workload.Tiny)
+		for _, s := range []mapping.Scheme{mapping.BASE, mapping.FAE} {
+			m := mapping.MustNew(s, cfg.Layout, mapping.Options{Seed: 1})
+			r := Run(app, m, cfg)
+			name := spec.Abbr + "/" + string(s)
+
+			if r.L1.Hits+r.L1.Misses != r.L1.Accesses {
+				t.Errorf("%s: L1 hits+misses != accesses", name)
+			}
+			if r.LLC.Hits+r.LLC.Misses != r.LLC.Accesses {
+				t.Errorf("%s: LLC hits+misses != accesses", name)
+			}
+			// L1 only sees read transactions (writes bypass), and every
+			// L1 access is a read transaction (merged reads skip the
+			// tag array, so accesses <= read transactions).
+			if r.L1.Accesses > r.Transactions {
+				t.Errorf("%s: L1 accesses %d > transactions %d", name, r.L1.Accesses, r.Transactions)
+			}
+			// LLC accesses = L1 miss fills + write transactions; merged
+			// L1 misses don't reach the LLC.
+			if r.LLC.Accesses > r.L1.Misses+r.Transactions {
+				t.Errorf("%s: LLC accesses %d exceed possible traffic", name, r.LLC.Accesses)
+			}
+			// DRAM reads are exactly LLC read-miss fetches, so they are
+			// bounded by LLC misses.
+			if r.DRAM.Reads > r.LLC.Misses {
+				t.Errorf("%s: DRAM reads %d > LLC misses %d", name, r.DRAM.Reads, r.LLC.Misses)
+			}
+			// DRAM writes are LLC dirty writebacks only.
+			if r.DRAM.Writes != int64(r.LLC.Writebacks) {
+				t.Errorf("%s: DRAM writes %d != LLC writebacks %d", name, r.DRAM.Writes, r.LLC.Writebacks)
+			}
+			// Parallelism metrics live within their unit counts.
+			if r.LLCParallelism < 0 || r.LLCParallelism > float64(cfg.LLCSlices) {
+				t.Errorf("%s: LLC parallelism %v out of range", name, r.LLCParallelism)
+			}
+			if r.ChannelParallelism < 0 || r.ChannelParallelism > float64(cfg.Layout.Channels()) {
+				t.Errorf("%s: channel parallelism %v out of range", name, r.ChannelParallelism)
+			}
+			if r.BankParallelism < 0 || r.BankParallelism > float64(cfg.Layout.BanksPerChannel()) {
+				t.Errorf("%s: bank parallelism %v out of range", name, r.BankParallelism)
+			}
+			// Row-buffer accounting.
+			if r.DRAM.RowMisses != r.DRAM.Activations {
+				t.Errorf("%s: activations %d != row misses %d", name, r.DRAM.Activations, r.DRAM.RowMisses)
+			}
+		}
+	}
+}
+
+// TestMappedVsUnmappedTrafficEqual verifies that address mapping is
+// traffic-neutral at the SM boundary: a bijection cannot change the
+// number of coalesced transactions, only their placement.
+func TestMappedVsUnmappedTrafficEqual(t *testing.T) {
+	cfg := Baseline()
+	for _, abbr := range []string{"MT", "SC", "BFS"} {
+		spec, _ := workload.ByAbbr(abbr)
+		app := spec.Build(workload.Tiny)
+		base := Run(app, mapping.NewBASE(cfg.Layout), cfg)
+		pae := Run(app, mapping.MustNew(mapping.PAE, cfg.Layout, mapping.Options{Seed: 1}), cfg)
+		if base.Transactions != pae.Transactions {
+			t.Errorf("%s: transactions changed under mapping: %d vs %d",
+				abbr, base.Transactions, pae.Transactions)
+		}
+		if base.Instructions != pae.Instructions {
+			t.Errorf("%s: instruction count changed under mapping", abbr)
+		}
+	}
+}

@@ -1,0 +1,326 @@
+// Package gpusim wires the substrate models into the full simulated GPU
+// of Table I — SMs with L1s, the 12×8 crossbar NoC, eight LLC slices,
+// and the 4-channel GDDR5 (or 3D-stacked) DRAM system — and runs
+// application traces through a chosen address mapping scheme, producing
+// every metric the paper's evaluation reports.
+package gpusim
+
+import (
+	"fmt"
+
+	"valleymap/internal/cache"
+	"valleymap/internal/dram"
+	"valleymap/internal/gpu"
+	"valleymap/internal/layout"
+	"valleymap/internal/mapping"
+	"valleymap/internal/metrics"
+	"valleymap/internal/noc"
+	"valleymap/internal/power"
+	"valleymap/internal/sim"
+	"valleymap/internal/trace"
+)
+
+// Config describes one simulated system.
+type Config struct {
+	Name string
+	// SMs is the streaming-multiprocessor count (12 baseline; 24/48/64
+	// in the Figure 18 sensitivity study).
+	SMs int
+	SM  gpu.Config
+	NoC noc.Config
+	// LLCSlices × LLCSlice must total 512 KB in the baseline.
+	LLCSlices int
+	LLCSlice  cache.Config
+	// LLCLatencyCycles is the slice access latency in core cycles and
+	// LLCOccupancyCycles its per-access port occupancy.
+	LLCLatencyCycles   int
+	LLCOccupancyCycles int
+	// Layout + DRAMTiming select conventional GDDR5 or 3D-stacked memory.
+	Layout     layout.Layout
+	DRAMTiming dram.Timing
+	// MaxWarpsPerSM bounds TB occupancy together with gpu.Config.MaxTBs
+	// (48 warps of 32 threads in Table I).
+	MaxWarpsPerSM int
+	// Power is the calibrated power model.
+	Power power.System
+}
+
+// Conventional returns the Table I system with the given SM count and
+// GDDR5 memory.
+func Conventional(sms int) Config {
+	return Config{
+		Name:               fmt.Sprintf("conv-%dsm", sms),
+		SMs:                sms,
+		SM:                 gpu.DefaultConfig(),
+		NoC:                noc.DefaultConfig(sms),
+		LLCSlices:          8,
+		LLCSlice:           cache.LLCSliceConfig(),
+		LLCLatencyCycles:   80,
+		LLCOccupancyCycles: 2,
+		Layout:             layout.HynixGDDR5(),
+		DRAMTiming:         dram.HynixGDDR5Timing(),
+		MaxWarpsPerSM:      48,
+		Power:              power.DefaultSystem(),
+	}
+}
+
+// Baseline is the paper's 12-SM configuration.
+func Baseline() Config { return Conventional(12) }
+
+// Stacked3D returns the Section VI-D 3D-stacked system: 64 SMs, 640 GB/s
+// stacked memory, and a proportionally wider NoC (960 GB/s).
+func Stacked3D() Config {
+	cfg := Conventional(64)
+	cfg.Name = "3d-64sm"
+	cfg.Layout = layout.Stacked3D()
+	cfg.DRAMTiming = dram.Stacked3DTiming()
+	cfg.NoC.ChannelBytes = 64 // ~2x the conventional NoC bandwidth
+	return cfg
+}
+
+// Result carries every metric of the Section VI figures for one run.
+type Result struct {
+	App    string
+	Scheme mapping.Scheme
+	Config string
+
+	ExecTime     sim.Time
+	Instructions int64
+	Requests     int   // pre-coalescing accesses
+	Transactions int64 // post-coalescing transactions
+
+	L1  cache.Stats
+	LLC cache.Stats
+
+	NoCAvgLatencyCycles float64 // Figure 13a
+	LLCParallelism      float64 // Figure 14a
+	ChannelParallelism  float64 // Figure 14b
+	BankParallelism     float64 // Figure 14c
+
+	DRAM      dram.Stats      // Figure 15 (row-buffer hit rate)
+	DRAMPower power.Breakdown // Figure 16
+	GPUPowerW float64
+	SystemW   float64
+	PerfPerW  float64 // Figure 17
+
+	APKI, MPKI float64 // Table II
+}
+
+// IPS returns instructions per second (performance; speedups are ratios
+// of this across schemes).
+func (r Result) IPS() float64 {
+	s := r.ExecTime.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(r.Instructions) / s
+}
+
+// llcSlice is one LLC slice with its port.
+type llcSlice struct {
+	c    *cache.Cache
+	port sim.Server
+}
+
+// system is the fabric implementation handed to SMs.
+type system struct {
+	eng    *sim.Engine
+	cfg    Config
+	xbar   *noc.Crossbar
+	slices []*llcSlice
+	dram   *dram.System
+	par    *metrics.MemParallelism
+
+	sliceShift uint
+	sliceMask  uint64
+
+	llcStats cache.Stats
+}
+
+func (sys *system) sliceOf(addr uint64) int {
+	return int((addr >> sys.sliceShift) & sys.sliceMask)
+}
+
+// llcLookup performs the slice access at the current time and returns
+// (hit, time at which the slice lookup resolves). Misses and dirty
+// writebacks generate DRAM traffic.
+func (sys *system) llcLookup(slice int, addr uint64, write bool) (bool, sim.Time) {
+	now := sys.eng.Now()
+	cc := sys.cfg.SM.CoreClock
+	_, grant := sys.slices[slice].port.Acquire(now, cc.Cycles(int64(sys.cfg.LLCOccupancyCycles)))
+	resolve := grant + cc.Cycles(int64(sys.cfg.LLCLatencyCycles))
+	res := sys.slices[slice].c.Access(addr, write)
+	if res.Eviction && res.VictimDirty {
+		// Write the victim back to DRAM; fire-and-forget.
+		sys.dram.Enqueue(&dram.Request{Addr: res.Victim, Write: true})
+	}
+	return res.Hit, resolve
+}
+
+// IssueRead implements gpu.Fabric.
+func (sys *system) IssueRead(now sim.Time, sm int, addr uint64, done func(sim.Time)) {
+	slice := sys.sliceOf(addr)
+	arrive := sys.xbar.SendToSlice(now, slice, 8)
+	sys.eng.At(arrive, func() {
+		sys.par.LLCDelta(sys.eng.Now(), slice, +1)
+		hit, resolve := sys.llcLookup(slice, addr, false)
+		if hit {
+			sys.eng.At(resolve, func() { sys.respond(sm, slice, addr, done) })
+			return
+		}
+		// Fetch the line from DRAM, then respond.
+		sys.eng.At(resolve, func() {
+			sys.dram.Enqueue(&dram.Request{Addr: addr, Write: false, Done: func(d sim.Time) {
+				sys.respond(sm, slice, addr, done)
+			}})
+		})
+	})
+}
+
+// respond returns a 128 B data packet to the SM and retires the slice's
+// outstanding count.
+func (sys *system) respond(sm, slice int, addr uint64, done func(sim.Time)) {
+	now := sys.eng.Now()
+	respAt := sys.xbar.SendToSM(now, sm, 128)
+	sys.eng.At(respAt, func() {
+		sys.par.LLCDelta(sys.eng.Now(), slice, -1)
+		done(sys.eng.Now())
+	})
+}
+
+// IssueWrite implements gpu.Fabric: stores carry a line to the LLC
+// (write-allocate, write-back) and complete there.
+func (sys *system) IssueWrite(now sim.Time, sm int, addr uint64) {
+	slice := sys.sliceOf(addr)
+	arrive := sys.xbar.SendToSlice(now, slice, 8+128)
+	sys.eng.At(arrive, func() {
+		sys.par.LLCDelta(sys.eng.Now(), slice, +1)
+		_, resolve := sys.llcLookup(slice, addr, true)
+		sys.eng.At(resolve, func() {
+			sys.par.LLCDelta(sys.eng.Now(), slice, -1)
+		})
+	})
+}
+
+// Run simulates one application under one mapping scheme.
+func Run(app *trace.App, mapper mapping.Mapper, cfg Config) Result {
+	eng := &sim.Engine{}
+	par := metrics.NewMemParallelism(cfg.LLCSlices, cfg.Layout.Channels(), cfg.Layout.BanksPerChannel())
+	xbar, err := noc.New(eng, cfg.NoC)
+	if err != nil {
+		panic(err)
+	}
+	sys := &system{
+		eng:  eng,
+		cfg:  cfg,
+		xbar: xbar,
+		dram: dram.NewSystem(eng, dram.Config{Layout: cfg.Layout, Timing: cfg.DRAMTiming}, par),
+		par:  par,
+	}
+	// LLC slice selection uses the address bits starting at the channel
+	// field, so slices align with channels (two slices per memory
+	// controller in Table I).
+	sys.sliceShift = uint(cfg.Layout.FieldBits(layout.Channel)[0])
+	sys.sliceMask = uint64(cfg.LLCSlices - 1)
+	for i := 0; i < cfg.LLCSlices; i++ {
+		sys.slices = append(sys.slices, &llcSlice{c: cache.MustNew(cfg.LLCSlice)})
+	}
+	sms := make([]*gpu.SM, cfg.SMs)
+	for i := range sms {
+		sms[i] = gpu.New(eng, i, cfg.SM, sys)
+	}
+
+	mapAddr := mapper.Map
+	for ki := range app.Kernels {
+		runKernel(eng, sms, &app.Kernels[ki], cfg, mapAddr)
+	}
+	end := eng.Now()
+	par.Finish(end)
+
+	res := Result{
+		App:          app.Abbr,
+		Scheme:       mapper.Scheme(),
+		Config:       cfg.Name,
+		ExecTime:     end,
+		Instructions: app.Instructions(),
+		Requests:     app.Requests(),
+	}
+	for _, s := range sms {
+		st := s.Stats()
+		res.Transactions += st.Transactions
+		res.L1.Accesses += st.L1.Accesses
+		res.L1.Hits += st.L1.Hits
+		res.L1.Misses += st.L1.Misses
+		res.L1.Evictions += st.L1.Evictions
+	}
+	for _, sl := range sys.slices {
+		st := sl.c.Stats()
+		res.LLC.Accesses += st.Accesses
+		res.LLC.Hits += st.Hits
+		res.LLC.Misses += st.Misses
+		res.LLC.Evictions += st.Evictions
+		res.LLC.Writebacks += st.Writebacks
+	}
+	res.NoCAvgLatencyCycles = xbar.AvgPacketLatency()
+	res.LLCParallelism = par.LLCLevel()
+	res.ChannelParallelism = par.ChannelLevel()
+	res.BankParallelism = par.BankLevel()
+	res.DRAM = sys.dram.Stats()
+
+	act := power.Activity{
+		Activations: res.DRAM.Activations,
+		Reads:       res.DRAM.Reads,
+		Writes:      res.DRAM.Writes,
+		Elapsed:     end,
+	}
+	res.DRAMPower = cfg.Power.DRAM.Power(act)
+	res.GPUPowerW = cfg.Power.GPU.Power(res.Instructions, end)
+	res.SystemW = res.DRAMPower.Total() + res.GPUPowerW
+	res.PerfPerW = cfg.Power.PerfPerWatt(act, res.Instructions)
+
+	if res.Instructions > 0 {
+		kilo := float64(res.Instructions) / 1000
+		res.APKI = float64(res.LLC.Accesses) / kilo
+		res.MPKI = float64(res.LLC.Misses) / kilo
+	}
+	return res
+}
+
+// runKernel dispatches the kernel's TBs over the SMs (round-robin as
+// slots free) and drains the engine — kernels serialize, so the drained
+// engine is the kernel barrier.
+func runKernel(eng *sim.Engine, sms []*gpu.SM, k *trace.Kernel, cfg Config, mapAddr func(uint64) uint64) {
+	maxTBs := cfg.SM.MaxTBs
+	if byWarps := cfg.MaxWarpsPerSM / k.WarpsPerTB; byWarps < maxTBs {
+		maxTBs = byWarps
+	}
+	if maxTBs < 1 {
+		maxTBs = 1
+	}
+	next := 0
+	lineBytes := cfg.SM.L1.LineBytes
+	var assign func(smIdx int)
+	assign = func(smIdx int) {
+		if next >= len(k.TBs) {
+			return
+		}
+		tb := &k.TBs[next]
+		next++
+		progs := gpu.BuildPrograms(tb, k.WarpsPerTB, lineBytes, mapAddr)
+		sms[smIdx].LaunchTB(progs, k.ComputeGapCycles, func(sim.Time) { assign(smIdx) })
+	}
+	// Initial dispatch is round-robin, one TB per SM per pass, exactly
+	// like the hardware TB scheduler: consecutive TB IDs land on
+	// different SMs, which is what makes the entropy window w ≈ #SMs
+	// (Section III-A). Each completion then refills its own SM's slot.
+	eng.At(eng.Now(), func() {
+		for pass := 0; pass < maxTBs && next < len(k.TBs); pass++ {
+			for i := range sms {
+				if sms[i].ActiveTBs() < maxTBs && next < len(k.TBs) {
+					assign(i)
+				}
+			}
+		}
+	})
+	eng.Run()
+}

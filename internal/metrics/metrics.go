@@ -1,0 +1,132 @@
+// Package metrics collects the memory-hierarchy statistics the paper
+// reports in Section VI: memory-level parallelism at the LLC, channel and
+// bank levels (Figure 14), defined as the time-weighted number of
+// outstanding requests conditioned on at least one being outstanding,
+// with bank-level parallelism quantified per channel.
+package metrics
+
+import (
+	"valleymap/internal/sim"
+)
+
+// BusyCounter tracks how many of a set of units have at least one
+// outstanding request, integrating the busy-unit count over time while it
+// is nonzero. This is exactly the Figure 14 parallelism metric when units
+// are LLC slices or DRAM channels.
+type BusyCounter struct {
+	perUnit []int
+	busy    sim.Integrator
+}
+
+// NewBusyCounter makes a counter over n units.
+func NewBusyCounter(n int) *BusyCounter {
+	return &BusyCounter{perUnit: make([]int, n)}
+}
+
+// Inc registers one more outstanding request at a unit.
+func (b *BusyCounter) Inc(now sim.Time, unit int) {
+	b.perUnit[unit]++
+	if b.perUnit[unit] == 1 {
+		b.busy.Inc(now)
+	}
+}
+
+// Dec retires one outstanding request at a unit.
+func (b *BusyCounter) Dec(now sim.Time, unit int) {
+	if b.perUnit[unit] <= 0 {
+		panic("metrics: busy counter underflow")
+	}
+	b.perUnit[unit]--
+	if b.perUnit[unit] == 0 {
+		b.busy.Dec(now)
+	}
+}
+
+// Finish closes the integration window.
+func (b *BusyCounter) Finish(now sim.Time) { b.busy.Finish(now) }
+
+// Parallelism returns the mean number of busy units while any unit is
+// busy (Section VI-B's metric).
+func (b *BusyCounter) Parallelism() float64 { return b.busy.MeanWhileBusy() }
+
+// Outstanding returns the current total outstanding count (diagnostic).
+func (b *BusyCounter) Outstanding() int {
+	n := 0
+	for _, v := range b.perUnit {
+		n += v
+	}
+	return n
+}
+
+// MemParallelism aggregates the three Figure 14 metrics. It implements
+// dram.ParallelismProbe for the channel and bank levels; the LLC level is
+// fed by the LLC model.
+type MemParallelism struct {
+	llc      *BusyCounter
+	channels *BusyCounter
+	banks    *BusyCounter // indexed channel*banksPerChannel+bank
+	perChan  int
+}
+
+// NewMemParallelism sizes counters for the given geometry.
+func NewMemParallelism(llcSlices, channels, banksPerChannel int) *MemParallelism {
+	return &MemParallelism{
+		llc:      NewBusyCounter(llcSlices),
+		channels: NewBusyCounter(channels),
+		banks:    NewBusyCounter(channels * banksPerChannel),
+		perChan:  banksPerChannel,
+	}
+}
+
+// LLCDelta adjusts the outstanding count of one LLC slice.
+func (m *MemParallelism) LLCDelta(now sim.Time, slice, delta int) {
+	if delta > 0 {
+		m.llc.Inc(now, slice)
+	} else {
+		m.llc.Dec(now, slice)
+	}
+}
+
+// ChannelDelta implements dram.ParallelismProbe.
+func (m *MemParallelism) ChannelDelta(now sim.Time, channel int, delta int) {
+	if delta > 0 {
+		m.channels.Inc(now, channel)
+	} else {
+		m.channels.Dec(now, channel)
+	}
+}
+
+// BankDelta implements dram.ParallelismProbe.
+func (m *MemParallelism) BankDelta(now sim.Time, channel, bank int, delta int) {
+	idx := channel*m.perChan + bank
+	if delta > 0 {
+		m.banks.Inc(now, idx)
+	} else {
+		m.banks.Dec(now, idx)
+	}
+}
+
+// Finish closes all integration windows at the end of simulation.
+func (m *MemParallelism) Finish(now sim.Time) {
+	m.llc.Finish(now)
+	m.channels.Finish(now)
+	m.banks.Finish(now)
+}
+
+// LLCLevel returns Figure 14a: mean busy LLC slices while any is busy.
+func (m *MemParallelism) LLCLevel() float64 { return m.llc.Parallelism() }
+
+// ChannelLevel returns Figure 14b: mean busy channels while any is busy.
+func (m *MemParallelism) ChannelLevel() float64 { return m.channels.Parallelism() }
+
+// BankLevel returns Figure 14c: mean busy banks per busy channel — the
+// paper quantifies bank-level parallelism per channel, giving the
+// multiplier effect it describes (total outstanding ≈ channel-level ×
+// bank-level).
+func (m *MemParallelism) BankLevel() float64 {
+	ch := m.channels.Parallelism()
+	if ch == 0 {
+		return 0
+	}
+	return m.banks.Parallelism() / ch
+}

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"valleymap/internal/sim"
+)
+
+func TestBusyCounterBasics(t *testing.T) {
+	b := NewBusyCounter(4)
+	b.Inc(0, 0)
+	b.Inc(10, 1) // two units busy over [10,20)
+	b.Dec(20, 0)
+	b.Dec(30, 1) // one unit busy over [20,30)
+	b.Finish(40)
+	// busy units: [0,10): 1, [10,20): 2, [20,30): 1, [30,40): 0
+	want := (10.0 + 20 + 10) / 30.0
+	if got := b.Parallelism(); got != want {
+		t.Errorf("parallelism = %v, want %v", got, want)
+	}
+}
+
+func TestBusyCounterMultipleRequestsOneUnit(t *testing.T) {
+	b := NewBusyCounter(2)
+	// Three requests on one unit still count it busy once.
+	b.Inc(0, 0)
+	b.Inc(0, 0)
+	b.Inc(0, 0)
+	b.Dec(10, 0)
+	b.Dec(10, 0)
+	if b.Outstanding() != 1 {
+		t.Errorf("outstanding = %d", b.Outstanding())
+	}
+	b.Dec(20, 0)
+	b.Finish(20)
+	if got := b.Parallelism(); got != 1 {
+		t.Errorf("parallelism = %v, want 1 (unit-level, not request-level)", got)
+	}
+}
+
+func TestBusyCounterUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBusyCounter(1).Dec(0, 0)
+}
+
+func TestMemParallelismLevels(t *testing.T) {
+	m := NewMemParallelism(8, 4, 16)
+	// Two channels busy, each with two busy banks, over [0,100).
+	for ch := 0; ch < 2; ch++ {
+		for bk := 0; bk < 2; bk++ {
+			m.ChannelDelta(0, ch, +1)
+			m.BankDelta(0, ch, bk, +1)
+		}
+	}
+	for ch := 0; ch < 2; ch++ {
+		for bk := 0; bk < 2; bk++ {
+			m.ChannelDelta(100, ch, -1)
+			m.BankDelta(100, ch, bk, -1)
+		}
+	}
+	m.LLCDelta(0, 3, +1)
+	m.LLCDelta(50, 3, -1)
+	m.Finish(100)
+	if got := m.ChannelLevel(); got != 2 {
+		t.Errorf("channel level = %v, want 2", got)
+	}
+	// 4 busy banks over 2 busy channels = 2 banks per channel.
+	if got := m.BankLevel(); got != 2 {
+		t.Errorf("bank level = %v, want 2", got)
+	}
+	if got := m.LLCLevel(); got != 1 {
+		t.Errorf("LLC level = %v, want 1", got)
+	}
+}
+
+func TestBankLevelZeroWhenIdle(t *testing.T) {
+	m := NewMemParallelism(8, 4, 16)
+	m.Finish(100)
+	if m.BankLevel() != 0 || m.ChannelLevel() != 0 || m.LLCLevel() != 0 {
+		t.Error("idle system should report zero parallelism")
+	}
+}
+
+// The multiplier effect of Section VI-B: total outstanding ≈ channel-level
+// × bank-level when load is uniform.
+func TestMultiplierEffect(t *testing.T) {
+	m := NewMemParallelism(8, 4, 16)
+	// All 4 channels busy with 8 banks each over [0,1000).
+	for ch := 0; ch < 4; ch++ {
+		for bk := 0; bk < 8; bk++ {
+			m.ChannelDelta(0, ch, +1)
+			m.BankDelta(0, ch, bk, +1)
+		}
+	}
+	for ch := 0; ch < 4; ch++ {
+		for bk := 0; bk < 8; bk++ {
+			m.ChannelDelta(1000, ch, -1)
+			m.BankDelta(1000, ch, bk, -1)
+		}
+	}
+	m.Finish(1000)
+	if got := m.ChannelLevel() * m.BankLevel(); got != 32 {
+		t.Errorf("channel x bank = %v, want 32 total busy banks", got)
+	}
+}
+
+// Property: random balanced inc/dec sequences never leave residue and
+// parallelism stays within [0, units].
+func TestBusyCounterProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		units := 1 + rng.Intn(8)
+		b := NewBusyCounter(units)
+		type ev struct {
+			unit int
+		}
+		var open []ev
+		now := sim.Time(0)
+		for i := 0; i < 200; i++ {
+			now += sim.Time(rng.Intn(10))
+			if len(open) > 0 && rng.Intn(2) == 0 {
+				k := rng.Intn(len(open))
+				b.Dec(now, open[k].unit)
+				open = append(open[:k], open[k+1:]...)
+			} else {
+				u := rng.Intn(units)
+				b.Inc(now, u)
+				open = append(open, ev{u})
+			}
+		}
+		for _, e := range open {
+			now += 1
+			b.Dec(now, e.unit)
+		}
+		b.Finish(now)
+		p := b.Parallelism()
+		if p < 0 || p > float64(units) {
+			t.Fatalf("parallelism %v outside [0,%d]", p, units)
+		}
+		if b.Outstanding() != 0 {
+			t.Fatal("residual outstanding")
+		}
+	}
+}

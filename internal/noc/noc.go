@@ -1,0 +1,131 @@
+// Package noc models the SM↔LLC crossbar network of Table I: a 12×8
+// crossbar at 700 MHz with 32-byte channels (179.3 GB/s aggregate).
+//
+// The model captures what the paper's Figure 13a measures: per-packet
+// latency including queueing at contended destination ports. Each
+// destination port in each direction is a single-server resource; a
+// packet's service time is its flit count times the channel cycle. When
+// address mapping concentrates traffic on one LLC slice, its input port
+// serializes and packet latency explodes — the BASE behavior on MT/LU.
+package noc
+
+import (
+	"fmt"
+
+	"valleymap/internal/sim"
+)
+
+// Config describes the crossbar.
+type Config struct {
+	// SMPorts and SlicePorts are the two sides of the crossbar (12×8 in
+	// Table I).
+	SMPorts    int
+	SlicePorts int
+	// Clock is the NoC clock (700 MHz in Table I).
+	Clock sim.Clock
+	// ChannelBytes is the link width per cycle (32 B in Table I).
+	ChannelBytes int
+	// RouterCycles is the fixed traversal latency in NoC cycles.
+	RouterCycles int
+}
+
+// DefaultConfig returns Table I's NoC for the given SM count.
+func DefaultConfig(sms int) Config {
+	return Config{
+		SMPorts:      sms,
+		SlicePorts:   8,
+		Clock:        sim.ClockFromMHz(700),
+		ChannelBytes: 32,
+		RouterCycles: 4,
+	}
+}
+
+// Crossbar is the contention and latency model.
+type Crossbar struct {
+	cfg     Config
+	eng     *sim.Engine
+	toSlice []sim.Server // request direction, per slice port
+	toSM    []sim.Server // response direction, per SM port
+	latency sim.Welford  // per-packet latency in NoC cycles
+	packets int64
+}
+
+// New builds a crossbar attached to the engine.
+func New(eng *sim.Engine, cfg Config) (*Crossbar, error) {
+	if cfg.SMPorts <= 0 || cfg.SlicePorts <= 0 {
+		return nil, fmt.Errorf("noc: ports %dx%d", cfg.SMPorts, cfg.SlicePorts)
+	}
+	if cfg.ChannelBytes <= 0 || cfg.Clock.Period <= 0 {
+		return nil, fmt.Errorf("noc: bad channel/clock config")
+	}
+	return &Crossbar{
+		cfg:     cfg,
+		eng:     eng,
+		toSlice: make([]sim.Server, cfg.SlicePorts),
+		toSM:    make([]sim.Server, cfg.SMPorts),
+	}, nil
+}
+
+// Config returns the crossbar configuration.
+func (x *Crossbar) Config() Config { return x.cfg }
+
+// flits returns the serialized occupancy of a payload.
+func (x *Crossbar) flits(payloadBytes int) int64 {
+	n := int64((payloadBytes + x.cfg.ChannelBytes - 1) / x.cfg.ChannelBytes)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// send pushes a packet through one directional port server and returns
+// the arrival time. Latency = router pipeline + queueing + serialization.
+func (x *Crossbar) send(srv *sim.Server, now sim.Time, payloadBytes int) sim.Time {
+	service := x.cfg.Clock.Cycles(x.flits(payloadBytes))
+	_, done := srv.Acquire(now, service)
+	arrive := done + x.cfg.Clock.Cycles(int64(x.cfg.RouterCycles))
+	x.latency.Observe(x.cfg.Clock.ToCycles(arrive - now))
+	x.packets++
+	return arrive
+}
+
+// SendToSlice delivers a request packet from an SM to an LLC slice port
+// and returns its arrival time. Read requests are header-only (8 B);
+// write requests carry a 128 B line.
+func (x *Crossbar) SendToSlice(now sim.Time, slice int, payloadBytes int) sim.Time {
+	return x.send(&x.toSlice[slice], now, payloadBytes)
+}
+
+// SendToSM delivers a response packet back to an SM port.
+func (x *Crossbar) SendToSM(now sim.Time, sm int, payloadBytes int) sim.Time {
+	return x.send(&x.toSM[sm], now, payloadBytes)
+}
+
+// AvgPacketLatency returns the mean per-packet latency in NoC cycles —
+// the Figure 13a metric.
+func (x *Crossbar) AvgPacketLatency() float64 { return x.latency.Mean() }
+
+// MaxPacketLatency returns the worst packet latency seen, in NoC cycles.
+func (x *Crossbar) MaxPacketLatency() float64 { return x.latency.Max() }
+
+// Packets returns the number of packets transferred.
+func (x *Crossbar) Packets() int64 { return x.packets }
+
+// PortUtilization returns the busy fraction of the most- and least-loaded
+// slice ports over the horizon — a direct view of slice imbalance.
+func (x *Crossbar) PortUtilization(horizon sim.Time) (max, min float64) {
+	if len(x.toSlice) == 0 || horizon <= 0 {
+		return 0, 0
+	}
+	min = 1
+	for i := range x.toSlice {
+		u := x.toSlice[i].Utilization(horizon)
+		if u > max {
+			max = u
+		}
+		if u < min {
+			min = u
+		}
+	}
+	return max, min
+}

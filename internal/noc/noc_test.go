@@ -1,0 +1,137 @@
+package noc
+
+import (
+	"testing"
+
+	"valleymap/internal/sim"
+)
+
+func newXbar(t *testing.T, sms int) (*sim.Engine, *Crossbar) {
+	t.Helper()
+	var eng sim.Engine
+	x, err := New(&eng, DefaultConfig(sms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &eng, x
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig(12)
+	if cfg.SMPorts != 12 || cfg.SlicePorts != 8 {
+		t.Errorf("ports = %dx%d, want 12x8 (Table I)", cfg.SMPorts, cfg.SlicePorts)
+	}
+	if cfg.ChannelBytes != 32 {
+		t.Errorf("channel width = %d, want 32B", cfg.ChannelBytes)
+	}
+	if cfg.Clock.Period != sim.ClockFromMHz(700).Period {
+		t.Errorf("clock = %v", cfg.Clock.Period)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	var eng sim.Engine
+	if _, err := New(&eng, Config{SMPorts: 0, SlicePorts: 8, Clock: sim.ClockFromMHz(700), ChannelBytes: 32}); err == nil {
+		t.Error("zero SM ports accepted")
+	}
+	if _, err := New(&eng, Config{SMPorts: 12, SlicePorts: 8, ChannelBytes: 0, Clock: sim.ClockFromMHz(700)}); err == nil {
+		t.Error("zero channel width accepted")
+	}
+}
+
+func TestUncontendedLatency(t *testing.T) {
+	_, x := newXbar(t, 12)
+	cfg := x.Config()
+	// 8B header packet: 1 flit + router latency.
+	arrive := x.SendToSlice(0, 0, 8)
+	want := cfg.Clock.Cycles(int64(1 + cfg.RouterCycles))
+	if arrive != want {
+		t.Errorf("arrive = %v, want %v", arrive, want)
+	}
+	// 128B data packet: 4 flits.
+	arrive2 := x.SendToSM(1000000, 3, 128)
+	want2 := sim.Time(1000000) + cfg.Clock.Cycles(int64(4+cfg.RouterCycles))
+	if arrive2 != want2 {
+		t.Errorf("data arrive = %v, want %v", arrive2, want2)
+	}
+	if x.Packets() != 2 {
+		t.Errorf("packets = %d", x.Packets())
+	}
+}
+
+func TestHotspotContention(t *testing.T) {
+	// All packets to one slice serialize; spread packets do not.
+	_, hot := newXbar(t, 12)
+	var lastHot sim.Time
+	for i := 0; i < 32; i++ {
+		if a := hot.SendToSlice(0, 0, 128); a > lastHot {
+			lastHot = a
+		}
+	}
+	_, spread := newXbar(t, 12)
+	var lastSpread sim.Time
+	for i := 0; i < 32; i++ {
+		if a := spread.SendToSlice(0, i%8, 128); a > lastSpread {
+			lastSpread = a
+		}
+	}
+	if lastHot < 7*lastSpread/2 {
+		t.Errorf("hotspot (%v) should be ~8x slower than spread (%v)", lastHot, lastSpread)
+	}
+	if hot.AvgPacketLatency() <= spread.AvgPacketLatency() {
+		t.Errorf("hotspot latency %.1f <= spread latency %.1f cycles",
+			hot.AvgPacketLatency(), spread.AvgPacketLatency())
+	}
+}
+
+func TestPortUtilization(t *testing.T) {
+	_, x := newXbar(t, 12)
+	for i := 0; i < 10; i++ {
+		x.SendToSlice(0, 0, 128)
+	}
+	cfg := x.Config()
+	horizon := cfg.Clock.Cycles(40) // exactly the busy span of 10x4 flits
+	max, min := x.PortUtilization(horizon)
+	if max < 0.99 || max > 1.01 {
+		t.Errorf("max utilization = %v, want ~1", max)
+	}
+	if min != 0 {
+		t.Errorf("min utilization = %v, want 0", min)
+	}
+	if mx, mn := x.PortUtilization(0); mx != 0 || mn != 0 {
+		t.Error("zero horizon should give zero utilization")
+	}
+}
+
+func TestMinimumOneFlit(t *testing.T) {
+	_, x := newXbar(t, 12)
+	a := x.SendToSlice(0, 0, 0)
+	if a <= 0 {
+		t.Error("zero-byte packet should still take one flit")
+	}
+}
+
+func TestMaxLatencyTracked(t *testing.T) {
+	_, x := newXbar(t, 12)
+	for i := 0; i < 16; i++ {
+		x.SendToSlice(0, 0, 128)
+	}
+	if x.MaxPacketLatency() <= x.AvgPacketLatency() {
+		t.Errorf("max %.1f should exceed avg %.1f under queueing",
+			x.MaxPacketLatency(), x.AvgPacketLatency())
+	}
+}
+
+func TestDirectionsIndependent(t *testing.T) {
+	_, x := newXbar(t, 12)
+	// Saturate the request direction; responses must be unaffected.
+	for i := 0; i < 100; i++ {
+		x.SendToSlice(0, 0, 128)
+	}
+	cfg := x.Config()
+	a := x.SendToSM(0, 0, 128)
+	want := cfg.Clock.Cycles(int64(4 + cfg.RouterCycles))
+	if a != want {
+		t.Errorf("response arrive = %v, want %v (unaffected by request congestion)", a, want)
+	}
+}

@@ -1,0 +1,132 @@
+// Package power models DRAM and GPU power the way the paper's evaluation
+// does: DRAM power follows the Micron power methodology (TN-41-01) with
+// four components — background, activate/precharge, read and write —
+// driven by measured command rates; GPU power follows a GPUWattch-style
+// split into static power plus a dynamic component proportional to
+// instruction throughput.
+//
+// Absolute constants are calibration parameters (the paper's testbed is a
+// simulated GTX-480-class GPU with 1 GB GDDR5); what the simulator
+// produces is the *rates*, so component ratios and scheme-to-scheme
+// deltas — the Figure 16/17 shapes — come from simulation, not from the
+// constants.
+package power
+
+import "valleymap/internal/sim"
+
+// DRAMModel holds per-event energies and standing power for the DRAM
+// devices of one board (all channels together).
+type DRAMModel struct {
+	// BackgroundW is standing power: clocking, DLL, refresh.
+	BackgroundW float64
+	// ActEnergyJ is the energy of one ACT+PRE pair (row activation),
+	// the component address mapping perturbs most (Figure 16).
+	ActEnergyJ float64
+	// ReadEnergyJ / WriteEnergyJ are per-128B-burst I/O + array energies.
+	ReadEnergyJ  float64
+	WriteEnergyJ float64
+}
+
+// DefaultGDDR5 returns constants calibrated so that a fully-loaded
+// 4-channel 118 GB/s GDDR5 system lands in the few-tens-of-watts range of
+// Figure 16, with activation energy dominant under row-buffer thrashing.
+func DefaultGDDR5() DRAMModel {
+	return DRAMModel{
+		BackgroundW:  11.0,
+		ActEnergyJ:   90e-9,
+		ReadEnergyJ:  28e-9,
+		WriteEnergyJ: 32e-9,
+	}
+}
+
+// Activity is the command tally of one simulation.
+type Activity struct {
+	Activations int64
+	Reads       int64 // 128 B bursts
+	Writes      int64 // 128 B bursts
+	Elapsed     sim.Time
+}
+
+// Breakdown is DRAM power by component, in watts (Figure 16's bars).
+type Breakdown struct {
+	Background float64
+	Activate   float64
+	Read       float64
+	Write      float64
+}
+
+// Total sums the components.
+func (b Breakdown) Total() float64 { return b.Background + b.Activate + b.Read + b.Write }
+
+// Power converts command rates into the four-component breakdown.
+func (m DRAMModel) Power(a Activity) Breakdown {
+	sec := a.Elapsed.Seconds()
+	if sec <= 0 {
+		return Breakdown{}
+	}
+	return Breakdown{
+		Background: m.BackgroundW,
+		Activate:   float64(a.Activations) * m.ActEnergyJ / sec,
+		Read:       float64(a.Reads) * m.ReadEnergyJ / sec,
+		Write:      float64(a.Writes) * m.WriteEnergyJ / sec,
+	}
+}
+
+// GPUModel is the GPUWattch-style core-side model.
+type GPUModel struct {
+	// StaticW covers leakage and constant clocking of SMs, caches, NoC.
+	StaticW float64
+	// InsnEnergyJ is dynamic energy per executed instruction.
+	InsnEnergyJ float64
+}
+
+// DefaultGPU returns constants for the 12-SM GTX-480-class configuration:
+// ~60 W static, ~8 nJ/instruction dynamic, so a busy GPU draws on the
+// order of 100 W and DRAM is up to ~40% of system power, as the paper
+// states (footnote in Section VI-C).
+func DefaultGPU() GPUModel {
+	return GPUModel{StaticW: 60.0, InsnEnergyJ: 8e-9}
+}
+
+// Power returns GPU power in watts given executed instructions over the
+// elapsed time.
+func (g GPUModel) Power(instructions int64, elapsed sim.Time) float64 {
+	sec := elapsed.Seconds()
+	if sec <= 0 {
+		return 0
+	}
+	return g.StaticW + float64(instructions)*g.InsnEnergyJ/sec
+}
+
+// System bundles both models.
+type System struct {
+	DRAM DRAMModel
+	GPU  GPUModel
+}
+
+// DefaultSystem returns the calibrated pair.
+func DefaultSystem() System {
+	return System{DRAM: DefaultGDDR5(), GPU: DefaultGPU()}
+}
+
+// SystemPower returns total (GPU + DRAM) watts.
+func (s System) SystemPower(a Activity, instructions int64) float64 {
+	return s.DRAM.Power(a).Total() + s.GPU.Power(instructions, a.Elapsed)
+}
+
+// PerfPerWatt returns the Figure 17 metric: work per second per watt of
+// total system power, with work measured in instructions. Comparing the
+// same application across mapping schemes, the instruction count is
+// constant, so ratios of this metric are exactly the paper's normalized
+// performance per watt.
+func (s System) PerfPerWatt(a Activity, instructions int64) float64 {
+	sec := a.Elapsed.Seconds()
+	if sec <= 0 {
+		return 0
+	}
+	p := s.SystemPower(a, instructions)
+	if p <= 0 {
+		return 0
+	}
+	return float64(instructions) / sec / p
+}

@@ -1,0 +1,127 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"valleymap/internal/sim"
+)
+
+func TestDRAMPowerComponents(t *testing.T) {
+	m := DefaultGDDR5()
+	a := Activity{
+		Activations: 1e6,
+		Reads:       2e6,
+		Writes:      5e5,
+		Elapsed:     sim.Millisecond,
+	}
+	b := m.Power(a)
+	if b.Background != m.BackgroundW {
+		t.Errorf("background = %v", b.Background)
+	}
+	// 1e6 ACT x 90nJ / 1ms = 90 W.
+	if math.Abs(b.Activate-90) > 1e-9 {
+		t.Errorf("activate = %v, want 90", b.Activate)
+	}
+	if math.Abs(b.Read-56) > 1e-9 {
+		t.Errorf("read = %v, want 56", b.Read)
+	}
+	if math.Abs(b.Write-16) > 1e-9 {
+		t.Errorf("write = %v, want 16", b.Write)
+	}
+	if math.Abs(b.Total()-(m.BackgroundW+90+56+16)) > 1e-9 {
+		t.Errorf("total = %v", b.Total())
+	}
+}
+
+func TestZeroElapsed(t *testing.T) {
+	m := DefaultGDDR5()
+	if b := m.Power(Activity{Activations: 100}); b.Total() != 0 {
+		t.Errorf("zero elapsed power = %v", b.Total())
+	}
+	g := DefaultGPU()
+	if p := g.Power(100, 0); p != 0 {
+		t.Errorf("zero elapsed GPU power = %v", p)
+	}
+	if s := DefaultSystem().PerfPerWatt(Activity{}, 100); s != 0 {
+		t.Errorf("zero elapsed PPW = %v", s)
+	}
+}
+
+func TestActivateDominatesUnderThrashing(t *testing.T) {
+	// The Figure 16 effect: same bandwidth, but one config activates a
+	// row per burst (FAE-like) and the other reuses rows (PAE-like).
+	m := DefaultGDDR5()
+	base := Activity{Reads: 1e6, Writes: 0, Activations: 1e5, Elapsed: sim.Millisecond}
+	thrash := base
+	thrash.Activations = 1e6
+	pBase := m.Power(base)
+	pThrash := m.Power(thrash)
+	if pThrash.Activate <= 2*pBase.Activate {
+		t.Errorf("thrashing activate power %v should dwarf %v", pThrash.Activate, pBase.Activate)
+	}
+	if pThrash.Read != pBase.Read || pThrash.Background != pBase.Background {
+		t.Error("non-activate components should be unchanged")
+	}
+}
+
+func TestGPUPowerScalesWithIPC(t *testing.T) {
+	g := DefaultGPU()
+	slow := g.Power(1e6, sim.Millisecond)
+	fast := g.Power(4e6, sim.Millisecond)
+	if fast <= slow {
+		t.Errorf("more instructions per time must cost more power: %v vs %v", fast, slow)
+	}
+	if slow <= g.StaticW {
+		t.Errorf("power %v must exceed static %v", slow, g.StaticW)
+	}
+}
+
+func TestPerfPerWattTradeoff(t *testing.T) {
+	// Same work: config A finishes in 1 ms with few activations; config
+	// B finishes in 0.9 ms but doubles DRAM activity (the FAE vs PAE
+	// trade-off). PerfPerWatt should be able to favor A.
+	s := DefaultSystem()
+	const insns = 10e6
+	a := Activity{Reads: 1e6, Activations: 2e5, Elapsed: sim.Millisecond}
+	b := Activity{Reads: 1e6, Activations: 3e6, Elapsed: sim.Time(0.9 * float64(sim.Millisecond))}
+	ppwA := s.PerfPerWatt(a, insns)
+	ppwB := s.PerfPerWatt(b, insns)
+	if ppwA <= ppwB {
+		t.Errorf("power-efficient config should win perf/W: A=%v B=%v", ppwA, ppwB)
+	}
+	// But raw performance favors B.
+	if b.Elapsed >= a.Elapsed {
+		t.Error("test setup wrong")
+	}
+}
+
+func TestPerfPerWattRatioIsSpeedupOverPowerRatio(t *testing.T) {
+	// For a fixed instruction count, PPW_a/PPW_b == (t_b/t_a) * (P_b/P_a):
+	// the paper's normalized performance-per-watt definition.
+	s := DefaultSystem()
+	const insns = 5e6
+	a := Activity{Reads: 5e5, Activations: 1e5, Elapsed: 2 * sim.Millisecond}
+	b := Activity{Reads: 5e5, Activations: 4e5, Elapsed: sim.Millisecond}
+	lhs := s.PerfPerWatt(b, insns) / s.PerfPerWatt(a, insns)
+	speedup := a.Elapsed.Seconds() / b.Elapsed.Seconds()
+	powerRatio := s.SystemPower(b, insns) / s.SystemPower(a, insns)
+	rhs := speedup / powerRatio
+	if math.Abs(lhs-rhs) > 1e-9 {
+		t.Errorf("PPW ratio %v != speedup/power %v", lhs, rhs)
+	}
+}
+
+func TestDRAMShareOfSystem(t *testing.T) {
+	// Paper footnote: DRAM is up to ~40% of system power. Check the
+	// calibration keeps DRAM share plausible (10%..50%) for a busy run.
+	s := DefaultSystem()
+	a := Activity{Reads: 3e6, Writes: 1e6, Activations: 1e6, Elapsed: 10 * sim.Millisecond}
+	insns := int64(80e6)
+	dram := s.DRAM.Power(a).Total()
+	total := s.SystemPower(a, insns)
+	share := dram / total
+	if share < 0.10 || share > 0.50 {
+		t.Errorf("DRAM share = %.2f, outside plausible range", share)
+	}
+}

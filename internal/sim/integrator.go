@@ -1,0 +1,126 @@
+package sim
+
+// Integrator accumulates the time-weighted integral of a piecewise-constant
+// integer level, tracking separately the portion of time during which the
+// level is at least one. It implements the paper's memory-level-parallelism
+// metric: "the number of outstanding requests if at least one is
+// outstanding" (Section VI-B).
+type Integrator struct {
+	level    int64
+	lastT    Time
+	weighted float64 // integral of level dt
+	busy     Time    // total time with level >= 1
+	peak     int64
+	started  bool
+}
+
+// Set moves the level to v at time now.
+func (g *Integrator) Set(now Time, v int64) {
+	g.advance(now)
+	g.level = v
+	if v > g.peak {
+		g.peak = v
+	}
+}
+
+// Add changes the level by delta at time now.
+func (g *Integrator) Add(now Time, delta int64) { g.Set(now, g.level+delta) }
+
+// Inc and Dec are the common unit adjustments.
+func (g *Integrator) Inc(now Time) { g.Add(now, 1) }
+func (g *Integrator) Dec(now Time) { g.Add(now, -1) }
+
+func (g *Integrator) advance(now Time) {
+	if !g.started {
+		g.lastT = now
+		g.started = true
+		return
+	}
+	if now < g.lastT {
+		panic("sim: integrator time went backwards")
+	}
+	dt := now - g.lastT
+	if dt > 0 && g.level > 0 {
+		g.weighted += float64(g.level) * float64(dt)
+		g.busy += dt
+	}
+	g.lastT = now
+}
+
+// Level returns the current level.
+func (g *Integrator) Level() int64 { return g.level }
+
+// Peak returns the maximum level observed.
+func (g *Integrator) Peak() int64 { return g.peak }
+
+// BusyTime returns the total time spent with level >= 1, up to the last
+// Set/Add/Finish call.
+func (g *Integrator) BusyTime() Time { return g.busy }
+
+// Finish advances the integral to the end time without changing the level.
+func (g *Integrator) Finish(now Time) { g.advance(now) }
+
+// MeanWhileBusy returns the time-weighted mean level over the intervals in
+// which the level was >= 1 — the paper's parallelism metric. It returns 0
+// if the level was never positive.
+func (g *Integrator) MeanWhileBusy() float64 {
+	if g.busy == 0 {
+		return 0
+	}
+	return g.weighted / float64(g.busy)
+}
+
+// Mean returns the time-weighted mean level over [start of observation,
+// last advance], counting idle time as level 0.
+func (g *Integrator) Mean(total Time) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return g.weighted / float64(total)
+}
+
+// Welford accumulates a running mean over scalar samples. It is used for
+// event-weighted statistics such as per-packet NoC latency.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Observe adds one sample.
+func (w *Welford) Observe(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count returns the number of samples observed.
+func (w *Welford) Count() int64 { return w.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Min and Max return sample extrema (0 with no samples).
+func (w *Welford) Min() float64 { return w.min }
+func (w *Welford) Max() float64 { return w.max }
+
+// Variance returns the population variance (0 for fewer than 2 samples).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}

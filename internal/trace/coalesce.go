@@ -1,0 +1,67 @@
+package trace
+
+// Coalescing merges the per-thread accesses of one warp-instruction into
+// line-granular memory transactions, exactly like a GPU's memory
+// coalescing unit. Both the entropy analysis and the simulator operate on
+// coalesced transactions: those are the requests that exist in the memory
+// system (Section III talks about "memory requests ... likely to co-exist
+// in the memory system", and the paper's address mapper sits right after
+// the coalescer).
+//
+// A warp-instruction is approximated as a maximal run of consecutive
+// requests from the same warp with the same kind, which matches how the
+// workload generators emit traces (thread-major within a warp).
+
+// CoalesceTB returns a new TB whose requests are the coalesced
+// transactions of tb at the given line size. Transaction addresses are
+// line-aligned. Order of first touch is preserved.
+func CoalesceTB(tb *TB, lineBytes int) TB {
+	out := TB{ID: tb.ID}
+	if lineBytes <= 0 {
+		lineBytes = 128
+	}
+	mask := ^uint64(lineBytes - 1)
+	i := 0
+	reqs := tb.Requests
+	var lines []uint64
+	for i < len(reqs) {
+		j := i
+		for j < len(reqs) && reqs[j].Warp == reqs[i].Warp && reqs[j].Kind == reqs[i].Kind {
+			j++
+		}
+		lines = lines[:0]
+	dedup:
+		for _, r := range reqs[i:j] {
+			la := r.Addr & mask
+			for _, seen := range lines {
+				if seen == la {
+					continue dedup
+				}
+			}
+			lines = append(lines, la)
+			out.Requests = append(out.Requests, Request{Addr: la, Kind: reqs[i].Kind, Warp: reqs[i].Warp})
+		}
+		i = j
+	}
+	return out
+}
+
+// CoalesceKernel coalesces every TB of a kernel.
+func CoalesceKernel(k *Kernel, lineBytes int) Kernel {
+	out := Kernel{Name: k.Name, WarpsPerTB: k.WarpsPerTB, ComputeGapCycles: k.ComputeGapCycles}
+	out.TBs = make([]TB, len(k.TBs))
+	for i := range k.TBs {
+		out.TBs[i] = CoalesceTB(&k.TBs[i], lineBytes)
+	}
+	return out
+}
+
+// CoalesceApp coalesces a whole application trace.
+func CoalesceApp(a *App, lineBytes int) *App {
+	out := &App{Name: a.Name, Abbr: a.Abbr, Valley: a.Valley, InsnPerAccess: a.InsnPerAccess}
+	out.Kernels = make([]Kernel, len(a.Kernels))
+	for i := range a.Kernels {
+		out.Kernels[i] = CoalesceKernel(&a.Kernels[i], lineBytes)
+	}
+	return out
+}

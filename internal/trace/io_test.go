@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleApp() *App {
+	return &App{Name: "s", Abbr: "S", InsnPerAccess: 3, Kernels: []Kernel{
+		{Name: "k0", WarpsPerTB: 2, ComputeGapCycles: 11, TBs: []TB{
+			{ID: 0, Requests: []Request{
+				{Addr: 0x1000, Kind: Read, Warp: 0},
+				{Addr: 0x2040, Kind: Write, Warp: 1},
+			}},
+			{ID: 2, Requests: []Request{{Addr: 0xFFFF40, Kind: Read, Warp: 0}}},
+		}},
+		{Name: "k1", WarpsPerTB: 1, ComputeGapCycles: 5, TBs: []TB{
+			{ID: 0, Requests: []Request{{Addr: 0x40, Kind: Read, Warp: 0}}},
+		}},
+	}}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	app := sampleApp()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, app); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Kernels) != 2 {
+		t.Fatalf("kernels = %d", len(back.Kernels))
+	}
+	for ki := range app.Kernels {
+		a, b := &app.Kernels[ki], &back.Kernels[ki]
+		if a.Name != b.Name || a.WarpsPerTB != b.WarpsPerTB || a.ComputeGapCycles != b.ComputeGapCycles {
+			t.Errorf("kernel %d metadata differs: %+v vs %+v", ki, a, b)
+		}
+		if len(a.TBs) != len(b.TBs) {
+			t.Fatalf("kernel %d TB count differs", ki)
+		}
+		for ti := range a.TBs {
+			if a.TBs[ti].ID != b.TBs[ti].ID {
+				t.Errorf("TB id differs: %d vs %d", a.TBs[ti].ID, b.TBs[ti].ID)
+			}
+			for ri := range a.TBs[ti].Requests {
+				if a.TBs[ti].Requests[ri] != b.TBs[ti].Requests[ri] {
+					t.Errorf("request differs: %+v vs %+v",
+						a.TBs[ti].Requests[ri], b.TBs[ti].Requests[ri])
+				}
+			}
+		}
+	}
+	if err := back.Validate(30); err != nil {
+		t.Errorf("round-tripped app invalid: %v", err)
+	}
+}
+
+func TestReadCSVHandWritten(t *testing.T) {
+	in := `# comment and blank lines are fine
+
+K,mykernel,4,100
+R,0,0,R,1000
+R,0,1,W,2040
+R,3,0,R,ff80
+`
+	app, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Requests() != 3 {
+		t.Errorf("requests = %d", app.Requests())
+	}
+	k := app.Kernels[0]
+	if k.WarpsPerTB != 4 || k.ComputeGapCycles != 100 {
+		t.Errorf("kernel meta = %+v", k)
+	}
+	if k.TBs[1].ID != 3 || k.TBs[1].Requests[0].Addr != 0xff80 {
+		t.Errorf("TB 3 wrong: %+v", k.TBs[1])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	bad := []string{
+		"",                                // no kernels
+		"R,0,0,R,1000\n",                  // request before kernel
+		"K,k,0,10\nR,0,0,R,10\n",          // zero warps
+		"K,k,1,-5\n",                      // negative gap
+		"K,k,1\n",                         // short K record
+		"K,k,1,1\nR,0,0,X,10\n",           // bad kind
+		"K,k,1,1\nR,0,0,R,zz\n",           // bad address
+		"K,k,1,1\nR,5,0,R,0\nR,2,0,R,0\n", // descending TB ids
+		"K,k,1,1\nQ,1,2\n",                // unknown record
+		"K,k,1,1\nR,0,0,R\n",              // short R record
+	}
+	for _, s := range bad {
+		if _, err := ReadCSV(strings.NewReader(s)); err == nil {
+			t.Errorf("accepted bad input %q", s)
+		}
+	}
+}

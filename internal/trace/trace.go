@@ -1,0 +1,130 @@
+// Package trace defines the memory-request trace representation shared by
+// the entropy analyzer and the GPU simulator: requests grouped by Thread
+// Block (TB), TBs grouped by kernel, kernels grouped by application. The
+// grouping mirrors the GPU execution model of Section II — TBs are the
+// scheduling unit, kernels serialize, and request order inside a TB is
+// deliberately not relied upon by the analysis (Section III-A).
+package trace
+
+import "fmt"
+
+// Kind distinguishes loads from stores.
+type Kind uint8
+
+const (
+	Read Kind = iota
+	Write
+)
+
+func (k Kind) String() string {
+	if k == Write {
+		return "W"
+	}
+	return "R"
+}
+
+// Request is one per-thread memory access before coalescing.
+type Request struct {
+	// Addr is the physical byte address (within the layout's bit width).
+	Addr uint64
+	// Kind is Read or Write.
+	Kind Kind
+	// Warp is the warp index within the TB that issues the access.
+	Warp int32
+}
+
+// TB holds the memory requests of one Thread Block in issue order.
+type TB struct {
+	// ID is the TB's linear identifier within its kernel; the TB
+	// scheduler dispatches TBs in ascending ID order.
+	ID int
+	// Requests lists every per-thread access of the TB.
+	Requests []Request
+}
+
+// Kernel is one kernel launch.
+type Kernel struct {
+	// Name identifies the kernel within the application.
+	Name string
+	// TBs lists the kernel's thread blocks in dispatch order.
+	TBs []TB
+	// WarpsPerTB is the number of warps each TB occupies on an SM.
+	WarpsPerTB int
+	// ComputeGapCycles is the mean number of SM cycles a warp computes
+	// between two consecutive memory instructions; it paces request
+	// issue and encodes the benchmark's arithmetic intensity.
+	ComputeGapCycles int
+}
+
+// Requests counts the kernel's memory requests.
+func (k *Kernel) Requests() int {
+	n := 0
+	for i := range k.TBs {
+		n += len(k.TBs[i].Requests)
+	}
+	return n
+}
+
+// App is a complete application trace.
+type App struct {
+	// Name is the full benchmark name, Abbr the paper's abbreviation.
+	Name string
+	Abbr string
+	// Kernels run back to back; TBs of different kernels never coexist.
+	Kernels []Kernel
+	// Valley records whether the paper classifies the workload as an
+	// entropy-valley benchmark (Table II top group).
+	Valley bool
+	// InsnPerAccess approximates dynamic instructions per memory access
+	// and drives APKI accounting (Table II).
+	InsnPerAccess float64
+}
+
+// Requests counts all memory requests in the application.
+func (a *App) Requests() int {
+	n := 0
+	for i := range a.Kernels {
+		n += a.Kernels[i].Requests()
+	}
+	return n
+}
+
+// Instructions estimates the dynamic instruction count.
+func (a *App) Instructions() int64 {
+	return int64(float64(a.Requests()) * a.InsnPerAccess)
+}
+
+// Validate checks structural invariants: non-empty kernels, positive warp
+// counts, ascending TB IDs, and addresses inside the given bit width.
+func (a *App) Validate(addrBits int) error {
+	if len(a.Kernels) == 0 {
+		return fmt.Errorf("trace %s: no kernels", a.Abbr)
+	}
+	limit := uint64(1) << uint(addrBits)
+	for ki := range a.Kernels {
+		k := &a.Kernels[ki]
+		if len(k.TBs) == 0 {
+			return fmt.Errorf("trace %s kernel %s: no TBs", a.Abbr, k.Name)
+		}
+		if k.WarpsPerTB <= 0 {
+			return fmt.Errorf("trace %s kernel %s: WarpsPerTB=%d", a.Abbr, k.Name, k.WarpsPerTB)
+		}
+		prev := -1
+		for ti := range k.TBs {
+			tb := &k.TBs[ti]
+			if tb.ID <= prev {
+				return fmt.Errorf("trace %s kernel %s: TB IDs not ascending at %d", a.Abbr, k.Name, tb.ID)
+			}
+			prev = tb.ID
+			for _, r := range tb.Requests {
+				if r.Addr >= limit {
+					return fmt.Errorf("trace %s kernel %s TB %d: address %#x exceeds %d bits", a.Abbr, k.Name, tb.ID, r.Addr, addrBits)
+				}
+				if int(r.Warp) >= k.WarpsPerTB || r.Warp < 0 {
+					return fmt.Errorf("trace %s kernel %s TB %d: warp %d out of range", a.Abbr, k.Name, tb.ID, r.Warp)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,296 @@
+package valleymap
+
+import (
+	"io"
+
+	"valleymap/internal/bim"
+	"valleymap/internal/entropy"
+	"valleymap/internal/experiments"
+	"valleymap/internal/gpusim"
+	"valleymap/internal/layout"
+	"valleymap/internal/mapping"
+	"valleymap/internal/power"
+	"valleymap/internal/sim"
+	"valleymap/internal/trace"
+	"valleymap/internal/workload"
+)
+
+// ---------------------------------------------------------------------
+// Address layouts (Figure 4 and the 3D-stacked variant)
+// ---------------------------------------------------------------------
+
+// Layout describes how a physical address decomposes into DRAM
+// coordinates.
+type Layout = layout.Layout
+
+// Field identifies one DRAM coordinate (Row, Bank, Channel, ...).
+type Field = layout.Field
+
+// DRAM coordinate fields.
+const (
+	FieldBlock   = layout.Block
+	FieldColumn  = layout.Column
+	FieldChannel = layout.Channel
+	FieldBank    = layout.Bank
+	FieldRow     = layout.Row
+	FieldVault   = layout.Vault
+)
+
+// HynixGDDR5 returns the baseline 30-bit Hynix GDDR5 address map
+// (Figure 4).
+func HynixGDDR5() Layout { return layout.HynixGDDR5() }
+
+// Stacked3D returns the HMC-style stack/vault/bank address map of the
+// Section VI-D sensitivity study.
+func Stacked3D() Layout { return layout.Stacked3D() }
+
+// ---------------------------------------------------------------------
+// BIMs and mapping schemes (Section IV)
+// ---------------------------------------------------------------------
+
+// BIM is a Binary Invertible Matrix over GF(2) — the paper's unified
+// representation of AND/XOR address mappings.
+type BIM = bim.Matrix
+
+// IdentityBIM returns the n×n identity matrix.
+func IdentityBIM(n int) BIM { return bim.Identity(n) }
+
+// NewBIM builds a matrix from explicit rows (row i = input mask of output
+// bit i).
+func NewBIM(n int, rows []uint64) BIM { return bim.New(n, rows) }
+
+// Scheme names an address mapping strategy.
+type Scheme = mapping.Scheme
+
+// The six schemes of the evaluation.
+const (
+	BASE = mapping.BASE
+	PM   = mapping.PM
+	RMP  = mapping.RMP
+	PAE  = mapping.PAE
+	FAE  = mapping.FAE
+	ALL  = mapping.ALL
+)
+
+// Schemes returns all six schemes in the paper's order.
+func Schemes() []Scheme { return mapping.Schemes() }
+
+// Mapper applies one scheme's BIM to physical addresses.
+type Mapper = mapping.Mapper
+
+// NewMapper constructs a mapper; seed selects the random BIM instance for
+// PAE/FAE/ALL (seeds 1..3 are the paper's BIM-1..BIM-3).
+func NewMapper(s Scheme, l Layout, seed int64) Mapper {
+	return mapping.MustNew(s, l, mapping.Options{Seed: seed})
+}
+
+// NewRMPMapper builds the Remap scheme from a measured suite-average
+// entropy profile (nil uses the paper's default bit choice).
+func NewRMPMapper(l Layout, avgEntropy []float64) Mapper {
+	return mapping.NewRMP(l, avgEntropy)
+}
+
+// ---------------------------------------------------------------------
+// Traces and workloads (Table II)
+// ---------------------------------------------------------------------
+
+// Trace types.
+type (
+	App     = trace.App
+	Kernel  = trace.Kernel
+	TB      = trace.TB
+	Request = trace.Request
+	Kind    = trace.Kind
+)
+
+// Request kinds.
+const (
+	Read  = trace.Read
+	Write = trace.Write
+)
+
+// Coalesce merges per-thread requests into line-granular transactions,
+// as the GPU's coalescing unit does.
+func Coalesce(app *App, lineBytes int) *App { return trace.CoalesceApp(app, lineBytes) }
+
+// WorkloadSpec describes one benchmark of the study.
+type WorkloadSpec = workload.Spec
+
+// Scale selects trace size.
+type Scale = workload.Scale
+
+// Trace scales.
+const (
+	ScaleTiny  = workload.Tiny
+	ScaleSmall = workload.Small
+	ScaleFull  = workload.Full
+)
+
+// Workloads returns the 16 benchmarks of Table II.
+func Workloads() []WorkloadSpec { return workload.Catalog() }
+
+// AllWorkloads returns the benchmarks plus the two standalone kernels of
+// Figure 5.
+func AllWorkloads() []WorkloadSpec { return workload.All() }
+
+// ValleyWorkloads returns the ten entropy-valley benchmarks.
+func ValleyWorkloads() []WorkloadSpec { return workload.ValleySet() }
+
+// NonValleyWorkloads returns the six non-valley benchmarks.
+func NonValleyWorkloads() []WorkloadSpec { return workload.NonValleySet() }
+
+// WorkloadByAbbr finds a workload by Table II abbreviation.
+func WorkloadByAbbr(abbr string) (WorkloadSpec, bool) { return workload.ByAbbr(abbr) }
+
+// ---------------------------------------------------------------------
+// Window-based entropy analysis (Section III)
+// ---------------------------------------------------------------------
+
+// Profile is a per-bit entropy distribution.
+type Profile = entropy.Profile
+
+// AnalysisOptions parameterizes AnalyzeApp.
+type AnalysisOptions struct {
+	// Window is the number of concurrently executing TBs w (0 = 12, the
+	// baseline SM count, per the paper's heuristic).
+	Window int
+	// Bits is the physical address width (0 = 30).
+	Bits int
+	// LineBytes is the coalescing granularity (0 = 128). Set negative
+	// to analyze raw per-thread requests without coalescing.
+	LineBytes int
+	// Transform optionally maps addresses before profiling (e.g. a
+	// Mapper's Map method, to obtain Figure 10-style post-mapping
+	// profiles).
+	Transform func(uint64) uint64
+}
+
+// AnalyzeApp computes the window-based entropy distribution of an
+// application trace (Equations 1–2, aggregated per kernel and weighted by
+// request counts).
+func AnalyzeApp(app *App, opt AnalysisOptions) Profile {
+	if opt.Window == 0 {
+		opt.Window = 12
+	}
+	if opt.Bits == 0 {
+		opt.Bits = 30
+	}
+	if opt.LineBytes == 0 {
+		opt.LineBytes = 128
+	}
+	a := app
+	if opt.LineBytes > 0 {
+		a = trace.CoalesceApp(app, opt.LineBytes)
+	}
+	var f entropy.Transform
+	if opt.Transform != nil {
+		f = opt.Transform
+	}
+	return entropy.AppProfile(a, opt.Window, opt.Bits, f)
+}
+
+// ---------------------------------------------------------------------
+// Simulation (Table I systems)
+// ---------------------------------------------------------------------
+
+// Time is a simulation timestamp in picoseconds.
+type Time = sim.Time
+
+// SimConfig describes a simulated GPU system.
+type SimConfig = gpusim.Config
+
+// SimResult carries all measured metrics of one run.
+type SimResult = gpusim.Result
+
+// PowerBreakdown is DRAM power by component (Figure 16).
+type PowerBreakdown = power.Breakdown
+
+// BaselineConfig returns the paper's 12-SM GDDR5 system.
+func BaselineConfig() SimConfig { return gpusim.Baseline() }
+
+// ConventionalConfig returns a GDDR5 system with the given SM count
+// (12/24/48 in Figure 18).
+func ConventionalConfig(sms int) SimConfig { return gpusim.Conventional(sms) }
+
+// Stacked3DConfig returns the 64-SM 3D-stacked system of Figure 18.
+func Stacked3DConfig() SimConfig { return gpusim.Stacked3D() }
+
+// Simulate runs one application trace under one mapping scheme.
+func Simulate(app *App, m Mapper, cfg SimConfig) SimResult {
+	return gpusim.Run(app, m, cfg)
+}
+
+// ---------------------------------------------------------------------
+// Experiments (Section VI)
+// ---------------------------------------------------------------------
+
+// ExperimentOptions controls experiment scale and BIM seeds.
+type ExperimentOptions = experiments.Options
+
+// SuiteResult holds workload × scheme simulation results with the derived
+// series of Figures 11–17 and 20.
+type SuiteResult = experiments.SuiteResult
+
+// Experiment runners (see DESIGN.md for the full index).
+func Figure3() (w2, w4 float64)                                { return experiments.Figure3() }
+func Figure5(o ExperimentOptions) map[string]Profile           { return experiments.Figure5(o) }
+func Figure10(o ExperimentOptions) map[Scheme]Profile          { return experiments.Figure10(o) }
+func ValleySuite(o ExperimentOptions) SuiteResult              { return experiments.ValleySuite(o) }
+func NonValleySuite(o ExperimentOptions) SuiteResult           { return experiments.NonValleySuite(o) }
+func Figure18(o ExperimentOptions) []experiments.Figure18Point { return experiments.Figure18(o) }
+func Figure19(o ExperimentOptions) map[Scheme][3]float64       { return experiments.Figure19(o) }
+func Table2(o ExperimentOptions) []experiments.Table2Row       { return experiments.Table2(o) }
+
+// Ablations: the input-breadth sweep behind the Broad-strategy argument
+// and the window-size sensitivity of the entropy metric.
+func AblationInputBreadth(o ExperimentOptions) []experiments.BreadthPoint {
+	return experiments.AblationInputBreadth(o)
+}
+func AblationWindowSize(o ExperimentOptions, windows []int) []experiments.WindowPoint {
+	return experiments.AblationWindowSize(o, windows)
+}
+
+// NewCustomMapper wraps a user-built BIM as a mapping scheme.
+func NewCustomMapper(name Scheme, l Layout, m BIM) (Mapper, error) {
+	return mapping.NewCustom(name, l, m)
+}
+
+// NewBroadCustomMapper generates a Broad-strategy mapper drawing from an
+// arbitrary input-bit mask (the breadth-ablation knob).
+func NewBroadCustomMapper(name Scheme, l Layout, inMask uint64, seed int64) Mapper {
+	return mapping.NewBroadCustom(name, l, inMask, seed)
+}
+
+// RunSuite simulates a workload set under a scheme set on one system.
+func RunSuite(specs []WorkloadSpec, schemes []Scheme, cfg SimConfig, o ExperimentOptions) SuiteResult {
+	return experiments.RunSuite(specs, schemes, cfg, o)
+}
+
+// Renderers produce the text form of each experiment.
+func RenderFigure3(w io.Writer)                       { experiments.RenderFigure3(w) }
+func RenderFigure5(w io.Writer, o ExperimentOptions)  { experiments.RenderFigure5(w, o) }
+func RenderFigure10(w io.Writer, o ExperimentOptions) { experiments.RenderFigure10(w, o) }
+func RenderTable2(w io.Writer, o ExperimentOptions)   { experiments.RenderTable2(w, o) }
+func RenderSuiteFigures(w io.Writer, s SuiteResult)   { experiments.RenderSuiteFigures(w, s) }
+func RenderFigure18(w io.Writer, o ExperimentOptions) { experiments.RenderFigure18(w, o) }
+func RenderFigure19(w io.Writer, o ExperimentOptions) { experiments.RenderFigure19(w, o) }
+func RenderFigure20(w io.Writer, s SuiteResult)       { experiments.RenderFigure20(w, s) }
+
+// RenderAblationBreadth prints the BIM input-breadth ablation.
+func RenderAblationBreadth(w io.Writer, o ExperimentOptions) {
+	experiments.RenderAblationBreadth(w, o)
+}
+
+// RenderAblationWindow prints the entropy window-size ablation.
+func RenderAblationWindow(w io.Writer, o ExperimentOptions) {
+	experiments.RenderAblationWindow(w, o)
+}
+
+// WriteTraceCSV streams an application trace in the package's CSV trace
+// format (see internal/trace: K records for kernels, R records for
+// requests), so traces can be inspected or exchanged with other tools.
+func WriteTraceCSV(w io.Writer, app *App) error { return trace.WriteCSV(w, app) }
+
+// ReadTraceCSV parses a trace in the package's CSV format — the path for
+// analyzing *real* GPU traces dumped by an instrumented simulator.
+func ReadTraceCSV(r io.Reader) (*App, error) { return trace.ReadCSV(r) }
