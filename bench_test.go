@@ -5,7 +5,7 @@
 //	go test -bench=. -benchmem
 //
 // reproduces the paper's result set (at reduced trace scale; see
-// EXPERIMENTS.md for measured-vs-paper values at full scale).
+// cmd/experiments -format json for measured-vs-paper values at full scale).
 package valleymap_test
 
 import (

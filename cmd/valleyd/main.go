@@ -1,0 +1,87 @@
+// Command valleyd is the valleymap daemon: a long-running HTTP service
+// that profiles address-bit entropy, recommends BIM address mappings and
+// runs scheme × workload simulation sweeps over a bounded worker pool,
+// with a content-addressed LRU cache in front of the profiler.
+//
+// Usage:
+//
+//	valleyd [-addr :8080] [-workers N] [-queue 256] [-cache 512]
+//
+// Endpoints:
+//
+//	POST /v1/profile   {"workload":"MT","scale":"tiny"}  or a text/csv trace body
+//	POST /v1/advise    {"workload":"MT"}                 recommended PAE/FAE/ALL BIM
+//	POST /v1/simulate  {"set":"valley","scale":"tiny"}   returns 202 + job id
+//	GET  /v1/jobs/{id}                                   poll the sweep
+//	GET  /healthz
+//	GET  /metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"valleymap"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "worker-pool queue depth (0 = 256)")
+	cacheEntries := flag.Int("cache", 0, "profile-cache entries (0 = 512)")
+	verbose := flag.Bool("v", false, "debug logging")
+	flag.Parse()
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+
+	svc := valleymap.NewService(valleymap.ServiceConfig{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheEntries,
+	})
+	defer svc.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(), // logs each request at debug level via slog
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		slog.Info("valleyd listening", "addr", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			slog.Error("server failed", "error", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		slog.Info("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			slog.Error("shutdown failed", "error", err)
+			os.Exit(1)
+		}
+	}
+	slog.Info("bye")
+}

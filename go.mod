@@ -1,0 +1,3 @@
+module valleymap
+
+go 1.22

@@ -23,6 +23,15 @@ import (
 	"valleymap/internal/trace"
 )
 
+// DefaultLow and DefaultHigh are the repo-wide valley-classification
+// thresholds (the qualitative Figure 5 split): a bit at or below
+// DefaultLow is "dead", and a valley only counts when some higher bit
+// reaches DefaultHigh (harvestable entropy, Section III-B).
+const (
+	DefaultLow  = 0.35
+	DefaultHigh = 0.6
+)
+
 // Ratio is an exact BVR: Ones one-bits observed out of Total requests.
 // Exact rationals avoid floating-point fuzz when counting distinct BVR
 // values inside a window.
@@ -279,6 +288,49 @@ func (p Profile) ChannelBankValley(chBits, bankBits []int, low, high float64) bo
 		}
 	}
 	return false
+}
+
+// Range is a maximal run of contiguous address bits [Lo, Hi] whose
+// entropy falls at or below a threshold — one "valley" of the profile.
+type Range struct {
+	Lo, Hi int
+}
+
+// ValleyRanges returns the maximal runs of dead bits (entropy ≤ low)
+// that sit *below* harvestable entropy: a run only counts as a valley
+// when some higher-order bit reaches the high threshold, mirroring
+// HasValley's Section III-B rule that a valley needs entropy above it
+// to harvest. Runs are reported in ascending bit order.
+func (p Profile) ValleyRanges(low, high float64) []Range {
+	n := len(p.PerBit)
+	var out []Range
+	seenHigh := false
+	// Scan MSB→LSB so "entropy above" is known when a run closes.
+	runHi := -1
+	for b := n - 1; b >= 0; b-- {
+		dead := p.PerBit[b] <= low
+		if dead && seenHigh {
+			if runHi < 0 {
+				runHi = b
+			}
+		} else {
+			if runHi >= 0 {
+				out = append(out, Range{Lo: b + 1, Hi: runHi})
+				runHi = -1
+			}
+			if p.PerBit[b] >= high {
+				seenHigh = true
+			}
+		}
+	}
+	if runHi >= 0 {
+		out = append(out, Range{Lo: 0, Hi: runHi})
+	}
+	// Reverse into ascending order.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
 }
 
 // HasValley reports whether the profile exhibits an entropy valley over

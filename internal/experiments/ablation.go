@@ -12,17 +12,17 @@ import (
 	"valleymap/internal/workload"
 )
 
-// The ablations quantify the two design choices DESIGN.md calls out:
+// The ablations quantify two central design choices:
 // how wide the BIM's input-bit range must be (the paper's Broad-vs-PM
 // argument, Section IV-A) and how the entropy metric responds to the
 // window-size parameter w (Section III-A).
 
 // BreadthPoint is one input-mask configuration of the breadth ablation.
 type BreadthPoint struct {
-	Name    string
-	InMask  uint64
-	Speedup float64 // arithmetic mean over the sampled valley benchmarks
-	MinCB   float64 // post-mapping min channel/bank entropy, averaged
+	Name    string  `json:"name"`
+	InMask  uint64  `json:"in_mask"`
+	Speedup float64 `json:"speedup"`                  // arithmetic mean over the sampled valley benchmarks
+	MinCB   float64 `json:"min_channel_bank_entropy"` // post-mapping min channel/bank entropy, averaged
 }
 
 // AblationInputBreadth sweeps the input-bit mask of a Broad-strategy BIM
@@ -89,11 +89,11 @@ func popcount(x uint64) int {
 
 // WindowPoint is one entry of the window-size sensitivity sweep.
 type WindowPoint struct {
-	Window int
+	Window int `json:"window"`
 	// MeanChBank is MT's mean channel/bank entropy at this window size.
-	MeanChBank float64
+	MeanChBank float64 `json:"mean_channel_bank_entropy"`
 	// MeanAll is the mean entropy over all non-block bits.
-	MeanAll float64
+	MeanAll float64 `json:"mean_entropy"`
 }
 
 // AblationWindowSize sweeps the window parameter w for MT, reproducing

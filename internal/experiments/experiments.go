@@ -1,7 +1,7 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (Section VI) plus the analysis figures of Sections II–IV.
-// Each experiment has a structured form (for tests and benchmarks) and a
-// text renderer (for the cmd/experiments tool and EXPERIMENTS.md).
+// Each experiment has a structured form (for tests, benchmarks and JSON
+// export) and a text renderer (for the cmd/experiments tool).
 package experiments
 
 import (
@@ -217,8 +217,8 @@ func (r SuiteResult) NormalizedSystemPower(s mapping.Scheme) float64 {
 
 // Figure18Point is one bar group of the SM-count/3D sensitivity study.
 type Figure18Point struct {
-	Config   string
-	Speedups map[mapping.Scheme]float64 // arithmetic mean over valley set
+	Config   string                     `json:"config"`
+	Speedups map[mapping.Scheme]float64 `json:"speedups"` // arithmetic mean over valley set
 }
 
 // Figure18 runs the valley suite on 12/24/48-SM conventional systems and
@@ -263,13 +263,14 @@ func Figure19(opt Options) map[mapping.Scheme][3]float64 {
 
 // Table2Row is one measured row of Table II.
 type Table2Row struct {
-	Abbr         string
-	APKI, MPKI   float64 // measured under BASE
-	Kernels      int     // kernels in the (scaled) trace
-	Instructions int64   // dynamic instructions in the (scaled) trace
-	PaperAPKI    float64
-	PaperMPKI    float64
-	PaperKernels int
+	Abbr         string  `json:"abbr"`
+	APKI         float64 `json:"apki"` // measured under BASE
+	MPKI         float64 `json:"mpki"`
+	Kernels      int     `json:"kernels"`      // kernels in the (scaled) trace
+	Instructions int64   `json:"instructions"` // dynamic instructions in the (scaled) trace
+	PaperAPKI    float64 `json:"paper_apki"`
+	PaperMPKI    float64 `json:"paper_mpki"`
+	PaperKernels int     `json:"paper_kernels"`
 }
 
 // Table2 measures benchmark characteristics under the BASE mapping.

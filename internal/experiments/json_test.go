@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONPayloadFig3(t *testing.T) {
+	env, err := JSONPayload("fig3", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, want := range []string{`"experiment":"fig3"`, `"hstar_w2"`, `"scale":"tiny"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("payload missing %s:\n%s", want, s)
+		}
+	}
+}
+
+func TestJSONPayloadSuiteDerivedSeries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a tiny suite sweep")
+	}
+	env, err := JSONPayload("table2", tinyOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"abbr":"MT"`) {
+		t.Errorf("table2 payload missing MT row:\n%.400s", b)
+	}
+}
+
+func TestJSONPayloadUnknown(t *testing.T) {
+	if _, err := JSONPayload("fig99", Options{}); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"valleymap/internal/entropy"
+	"valleymap/internal/layout"
 	"valleymap/internal/mapping"
 )
 
@@ -48,10 +49,12 @@ func RenderFigure5(w io.Writer, opt Options) {
 		abbrs = append(abbrs, a)
 	}
 	sort.Strings(abbrs)
+	l := layout.HynixGDDR5()
+	ch, bank := l.FieldBits(layout.Channel), l.FieldBits(layout.Bank)
 	for _, a := range abbrs {
 		p := profs[a]
 		valley := ""
-		if p.ChannelBankValley([]int{8, 9}, []int{10, 11, 12, 13}, 0.35, 0.6) {
+		if p.ChannelBankValley(ch, bank, entropy.DefaultLow, entropy.DefaultHigh) {
 			valley = "  <- entropy valley"
 		}
 		fmt.Fprintf(w, "  %-8s %s%s\n", a, sparkline(p, 29, 6), valley)

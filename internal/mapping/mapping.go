@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"valleymap/internal/bim"
 	"valleymap/internal/layout"
@@ -30,6 +31,18 @@ const (
 
 // Schemes lists all schemes in the paper's presentation order.
 func Schemes() []Scheme { return []Scheme{BASE, PM, RMP, PAE, FAE, ALL} }
+
+// ParseScheme resolves a case-insensitive scheme name (as it appears in
+// CLI flags and service request bodies) to a Scheme.
+func ParseScheme(name string) (Scheme, error) {
+	up := Scheme(strings.ToUpper(strings.TrimSpace(name)))
+	for _, s := range Schemes() {
+		if s == up {
+			return s, nil
+		}
+	}
+	return "", fmt.Errorf("mapping: unknown scheme %q", name)
+}
 
 // Proposed lists the paper's three Broad-strategy contributions.
 func Proposed() []Scheme { return []Scheme{PAE, FAE, ALL} }

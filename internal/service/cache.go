@@ -1,0 +1,121 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// profileCache is a content-addressed LRU cache with in-flight request
+// coalescing: concurrent lookups for the same key share one computation
+// (the first caller computes, the rest block on it and count as hits),
+// so a burst of identical requests costs one profile run. Keys encode
+// the trace identity (workload+scale, or the SHA-256 of an uploaded
+// trace) plus every analysis option that affects the result.
+type profileCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	inflight map[string]*flight
+	metrics  *Metrics
+}
+
+type cacheEntry struct {
+	key string
+	val *ProfileResult
+}
+
+type flight struct {
+	done chan struct{}
+	val  *ProfileResult
+	err  error
+}
+
+func newProfileCache(capacity int, m *Metrics) *profileCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := &profileCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    map[string]*list.Element{},
+		inflight: map[string]*flight{},
+		metrics:  m,
+	}
+	m.cacheLen = c.Len
+	return c
+}
+
+// Len returns the number of resident entries.
+func (c *profileCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// GetOrCompute returns the cached value for key, or runs fn once to
+// produce it. hit is true when the value came from the cache or from
+// joining another caller's in-flight computation. Errors are not cached.
+func (c *profileCache) GetOrCompute(key string, fn func() (*ProfileResult, error)) (val *ProfileResult, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		v := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		c.metrics.CacheHit()
+		return v, true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		c.metrics.CacheHit()
+		return f.val, true, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	// A panicking computation must still unregister the flight and close
+	// done, or every later lookup of this key would block forever.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				f.err = fmt.Errorf("service: profile computation panicked: %v", r)
+			}
+		}()
+		f.val, f.err = fn()
+	}()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		c.insertLocked(key, f.val)
+	}
+	c.mu.Unlock()
+	close(f.done)
+
+	// A failed computation was never cacheable; counting it as a miss
+	// would make client errors read as cache-sizing trouble in /metrics.
+	if f.err == nil {
+		c.metrics.CacheMiss()
+	}
+	return f.val, false, f.err
+}
+
+func (c *profileCache) insertLocked(key string, val *ProfileResult) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		old := c.ll.Back()
+		c.ll.Remove(old)
+		delete(c.items, old.Value.(*cacheEntry).key)
+	}
+}

@@ -1,0 +1,273 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"valleymap/internal/trace"
+)
+
+// Handler returns the valleyd HTTP API:
+//
+//	POST /v1/profile   entropy profile (JSON request, or text/csv trace body)
+//	POST /v1/advise    mapping recommendation with predicted entropy gains
+//	POST /v1/simulate  enqueue a workload x scheme sweep job (202)
+//	GET  /v1/jobs/{id} poll a sweep job
+//	GET  /healthz      liveness
+//	GET  /metrics      Prometheus-style plain text
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/profile", s.instrument("/v1/profile", s.handleProfile))
+	mux.HandleFunc("POST /v1/advise", s.instrument("/v1/advise", s.handleAdvise))
+	mux.HandleFunc("POST /v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs", s.handleJob))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	return mux
+}
+
+// statusRecorder captures the response code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Service) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		s.metrics.ObserveRequest(path, rec.code)
+		slog.Debug("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.code,
+			"duration_ms", time.Since(start).Milliseconds(),
+			"remote", r.RemoteAddr,
+		)
+	}
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var br badRequestError
+	var nf notFoundError
+	var ov overloadedError
+	switch {
+	case errors.As(err, &br):
+		code = http.StatusBadRequest
+	case errors.As(err, &nf):
+		code = http.StatusNotFound
+	case errors.As(err, &ov):
+		code = http.StatusServiceUnavailable
+	case errors.As(err, new(overloadedBody)):
+		code = http.StatusRequestEntityTooLarge
+	}
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+func decodeJSON(r *http.Request, v any, limit int64) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, limit))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return overloadedBody{limit}
+		}
+		return badRequestf("bad request body: %v", err)
+	}
+	return nil
+}
+
+// overloadedBody is surfaced as 413 by writeError.
+type overloadedBody struct{ limit int64 }
+
+func (e overloadedBody) Error() string {
+	return fmt.Sprintf("request body exceeds %d byte limit", e.limit)
+}
+
+// jsonBodyLimit is the cap for plain JSON control requests; endpoints
+// that embed traces (profile, advise) get MaxTraceBytes of headroom on
+// top so trace_csv payloads are bounded by the same knob as CSV uploads.
+const jsonBodyLimit = 1 << 20
+
+func (s *Service) traceBodyLimit() int64 { return s.cfg.MaxTraceBytes + jsonBodyLimit }
+
+// profileEnvelope wraps a ProfileResult with its cache outcome.
+type profileEnvelope struct {
+	*ProfileResult
+	CacheHit bool `json:"cache_hit"`
+}
+
+func (s *Service) handleProfile(w http.ResponseWriter, r *http.Request) {
+	// Media types are case-insensitive (RFC 9110 §8.3).
+	ct := strings.ToLower(r.Header.Get("Content-Type"))
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	var (
+		res *ProfileResult
+		hit bool
+		err error
+	)
+	switch strings.TrimSpace(ct) {
+	case "text/csv", "text/plain":
+		// Streaming upload: decode + hash the body in one pass. Analysis
+		// options ride in query parameters.
+		var req ProfileRequest
+		if err := profileQueryOptions(r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		// The decoder may trip on the truncated final line before the
+		// reader's limit error surfaces, so classify by bytes consumed.
+		// The reader allows one byte past the cap: a decode failure with
+		// n > cap means the body was oversize and truncated, while a
+		// malformed trace of exactly cap bytes still reports 400.
+		cr := &countingReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxTraceBytes+1)}
+		app, sum, derr := trace.ReadCSVHashed(cr)
+		if derr != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(derr, &mbe) || cr.n > s.cfg.MaxTraceBytes {
+				writeJSON(w, http.StatusRequestEntityTooLarge,
+					apiError{Error: fmt.Sprintf("trace exceeds %d byte limit", s.cfg.MaxTraceBytes)})
+				return
+			}
+			writeError(w, badRequestf("bad trace: %v", derr))
+			return
+		}
+		// The reader's one-byte allowance is diagnostic only; a body
+		// that parsed but exceeds the cap is still oversize.
+		if cr.n > s.cfg.MaxTraceBytes {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				apiError{Error: fmt.Sprintf("trace exceeds %d byte limit", s.cfg.MaxTraceBytes)})
+			return
+		}
+		res, hit, err = s.ProfileTrace(app, sum, req)
+	default:
+		var req ProfileRequest
+		if err := decodeJSON(r, &req, s.traceBodyLimit()); err != nil {
+			writeError(w, err)
+			return
+		}
+		res, hit, err = s.Profile(req)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, profileEnvelope{ProfileResult: res, CacheHit: hit})
+}
+
+// countingReader tracks bytes delivered, so size-limit hits can be
+// told apart from genuinely malformed traces.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// profileQueryOptions parses ?window=&bits=&line_bytes=&scheme=&seed=
+// for CSV-body uploads.
+func profileQueryOptions(r *http.Request, req *ProfileRequest) error {
+	q := r.URL.Query()
+	for name, dst := range map[string]*int{"window": &req.Window, "bits": &req.Bits, "line_bytes": &req.LineBytes} {
+		if v := q.Get(name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return badRequestf("bad %s %q", name, v)
+			}
+			*dst = n
+		}
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return badRequestf("bad seed %q", v)
+		}
+		req.Seed = n
+	}
+	req.Scheme = q.Get("scheme")
+	return nil
+}
+
+func (s *Service) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	var req AdviseRequest
+	if err := decodeJSON(r, &req, s.traceBodyLimit()); err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.Advise(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := decodeJSON(r, &req, jsonBodyLimit); err != nil {
+		writeError(w, err)
+		return
+	}
+	job, err := s.Simulate(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.Job(id)
+	if !ok {
+		writeError(w, notFoundf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteTo(w) //nolint:errcheck // client gone; nothing to do
+}

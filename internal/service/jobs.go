@@ -1,0 +1,199 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// JobStatus is the lifecycle state of an async job.
+type JobStatus string
+
+// Job lifecycle: queued → running → done | failed.
+const (
+	JobQueued  JobStatus = "queued"
+	JobRunning JobStatus = "running"
+	JobDone    JobStatus = "done"
+	JobFailed  JobStatus = "failed"
+)
+
+// Job is one asynchronous simulation sweep. Cells (workload × scheme
+// pairs) execute across the shared worker pool; Done tracks progress.
+type Job struct {
+	ID       string          `json:"id"`
+	Kind     string          `json:"kind"`
+	Status   JobStatus       `json:"status"`
+	Created  time.Time       `json:"created"`
+	Started  *time.Time      `json:"started,omitempty"`
+	Finished *time.Time      `json:"finished,omitempty"`
+	Total    int             `json:"total_cells"`
+	Done     int             `json:"done_cells"`
+	Error    string          `json:"error,omitempty"`
+	Result   *SimulateResult `json:"result,omitempty"`
+}
+
+// jobStore holds jobs by ID, retaining at most maxJobs entries:
+// creating a job beyond the cap evicts the oldest *finished* jobs
+// (done or failed), and creation fails outright when the cap is filled
+// by in-flight jobs — otherwise a request flood would grow job structs
+// and dispatcher goroutines without bound, since 202-accepted sweeps
+// park their backpressure in the dispatcher, not the HTTP handler.
+type jobStore struct {
+	mu      sync.RWMutex
+	jobs    map[string]*Job
+	order   []string // creation order, for eviction
+	maxJobs int
+	nextID  atomic.Int64
+}
+
+func newJobStore(maxJobs int) *jobStore {
+	if maxJobs < 1 {
+		maxJobs = 1
+	}
+	return &jobStore{jobs: map[string]*Job{}, maxJobs: maxJobs}
+}
+
+// create registers a new job, evicting the oldest finished jobs past
+// the cap. It returns an error when every retained slot holds an
+// in-flight job.
+func (s *jobStore) create(kind string, total int) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.jobs) >= s.maxJobs {
+		evicted := false
+		for i, id := range s.order {
+			if old := s.jobs[id]; old != nil && (old.Status == JobDone || old.Status == JobFailed) {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return nil, fmt.Errorf("job limit reached: %d jobs in flight", len(s.jobs))
+		}
+	}
+	j := &Job{
+		ID:      fmt.Sprintf("job-%d", s.nextID.Add(1)),
+		Kind:    kind,
+		Status:  JobQueued,
+		Created: time.Now().UTC(),
+		Total:   total,
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	return j, nil
+}
+
+// get returns a copy of the job (safe for concurrent marshaling) or
+// false when the ID is unknown.
+func (s *jobStore) get(id string) (Job, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+func (s *jobStore) setRunning(id string) {
+	s.mu.Lock()
+	if j := s.jobs[id]; j != nil {
+		now := time.Now().UTC()
+		j.Status = JobRunning
+		j.Started = &now
+	}
+	s.mu.Unlock()
+}
+
+func (s *jobStore) cellDone(id string) {
+	s.mu.Lock()
+	if j := s.jobs[id]; j != nil {
+		j.Done++
+	}
+	s.mu.Unlock()
+}
+
+func (s *jobStore) finish(id string, res *SimulateResult, err error) {
+	s.mu.Lock()
+	if j := s.jobs[id]; j != nil {
+		now := time.Now().UTC()
+		j.Finished = &now
+		if err != nil {
+			j.Status = JobFailed
+			j.Error = err.Error()
+		} else {
+			j.Status = JobDone
+			j.Result = res
+		}
+	}
+	s.mu.Unlock()
+}
+
+// pool is a fixed-size worker pool with a bounded task queue. Submit
+// blocks when the queue is full, giving natural backpressure: job
+// dispatcher goroutines stall rather than the HTTP accept loop.
+type pool struct {
+	tasks chan func()
+	busy  atomic.Int64
+	wg    sync.WaitGroup
+	// mu orders submits against close: senders hold the read lock for
+	// the whole check-then-send, so once close holds the write lock and
+	// flips closed, no goroutine can be mid-send on the channel it is
+	// about to close.
+	mu     sync.RWMutex
+	closed bool
+	once   sync.Once
+}
+
+func newPool(workers, queue int, m *Metrics) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 1 {
+		queue = 1
+	}
+	p := &pool{tasks: make(chan func(), queue)}
+	m.workers = workers
+	m.queueDepth = func() int { return len(p.tasks) }
+	m.workersBusy = func() int { return int(p.busy.Load()) }
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.tasks {
+				p.busy.Add(1)
+				f()
+				p.busy.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues a task, blocking while the queue is full. It reports
+// false when the pool is shutting down. A sender blocked on a full
+// queue delays close until a worker frees a slot — workers keep
+// draining, so the wait is bounded.
+func (p *pool) submit(f func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	p.tasks <- f
+	return true
+}
+
+// close stops intake, lets queued tasks drain and waits for workers.
+func (p *pool) close() {
+	p.once.Do(func() {
+		p.mu.Lock()
+		p.closed = true
+		p.mu.Unlock()
+		close(p.tasks)
+	})
+	p.wg.Wait()
+}

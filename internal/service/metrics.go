@@ -1,0 +1,152 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics aggregates service-level counters and gauges and renders them
+// in the plain-text Prometheus exposition format on /metrics. Counters
+// are lock-free; the per-path request table takes a small mutex because
+// the label set is open-ended.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[requestKey]*int64
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	jobsEnqueued atomic.Int64
+	jobsDone     atomic.Int64
+	jobsFailed   atomic.Int64
+
+	cellsSimulated atomic.Int64
+
+	// Gauges are sampled at render time from the owning structures.
+	queueDepth  func() int
+	workersBusy func() int
+	workers     int
+	cacheLen    func() int
+}
+
+// NewMetrics returns an empty metrics registry. The service wires the
+// gauge sampling funcs when it constructs its pool and cache.
+func NewMetrics() *Metrics {
+	return &Metrics{requests: map[requestKey]*int64{}}
+}
+
+type requestKey struct {
+	path string
+	code int
+}
+
+// ObserveRequest counts one completed HTTP request.
+func (m *Metrics) ObserveRequest(path string, code int) {
+	m.mu.Lock()
+	c, ok := m.requests[requestKey{path, code}]
+	if !ok {
+		c = new(int64)
+		m.requests[requestKey{path, code}] = c
+	}
+	m.mu.Unlock()
+	atomic.AddInt64(c, 1)
+}
+
+// CacheHit / CacheMiss count profile-cache outcomes.
+func (m *Metrics) CacheHit()  { m.cacheHits.Add(1) }
+func (m *Metrics) CacheMiss() { m.cacheMisses.Add(1) }
+
+// CacheHitRate returns hits/(hits+misses), 0 when no lookups happened.
+func (m *Metrics) CacheHitRate() float64 {
+	h, s := m.cacheHits.Load(), m.cacheMisses.Load()
+	if h+s == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+s)
+}
+
+// CacheCounts returns the raw (hits, misses) pair.
+func (m *Metrics) CacheCounts() (hits, misses int64) {
+	return m.cacheHits.Load(), m.cacheMisses.Load()
+}
+
+// WriteTo renders every metric in Prometheus text format.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	var b []byte
+	add := func(format string, args ...any) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+
+	add("# HELP valleyd_requests_total Completed HTTP requests by path and status code.\n")
+	add("# TYPE valleyd_requests_total counter\n")
+	m.mu.Lock()
+	keys := make([]requestKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].path != keys[j].path {
+			return keys[i].path < keys[j].path
+		}
+		return keys[i].code < keys[j].code
+	})
+	for _, k := range keys {
+		add("valleyd_requests_total{path=%q,code=\"%d\"} %d\n", k.path, k.code, atomic.LoadInt64(m.requests[k]))
+	}
+	m.mu.Unlock()
+
+	add("# HELP valleyd_profile_cache_hits_total Profile-cache hits (including joins on in-flight computations).\n")
+	add("# TYPE valleyd_profile_cache_hits_total counter\n")
+	add("valleyd_profile_cache_hits_total %d\n", m.cacheHits.Load())
+	add("# HELP valleyd_profile_cache_misses_total Profile-cache misses.\n")
+	add("# TYPE valleyd_profile_cache_misses_total counter\n")
+	add("valleyd_profile_cache_misses_total %d\n", m.cacheMisses.Load())
+	add("# HELP valleyd_profile_cache_hit_rate Hit fraction over all cache lookups.\n")
+	add("# TYPE valleyd_profile_cache_hit_rate gauge\n")
+	add("valleyd_profile_cache_hit_rate %g\n", m.CacheHitRate())
+	if m.cacheLen != nil {
+		add("# HELP valleyd_profile_cache_entries Resident profile-cache entries.\n")
+		add("# TYPE valleyd_profile_cache_entries gauge\n")
+		add("valleyd_profile_cache_entries %d\n", m.cacheLen())
+	}
+
+	add("# HELP valleyd_jobs_enqueued_total Simulation jobs accepted.\n")
+	add("# TYPE valleyd_jobs_enqueued_total counter\n")
+	add("valleyd_jobs_enqueued_total %d\n", m.jobsEnqueued.Load())
+	add("# HELP valleyd_jobs_done_total Simulation jobs completed successfully.\n")
+	add("# TYPE valleyd_jobs_done_total counter\n")
+	add("valleyd_jobs_done_total %d\n", m.jobsDone.Load())
+	add("# HELP valleyd_jobs_failed_total Simulation jobs that ended in error.\n")
+	add("# TYPE valleyd_jobs_failed_total counter\n")
+	add("valleyd_jobs_failed_total %d\n", m.jobsFailed.Load())
+	add("# HELP valleyd_sim_cells_total Individual workload x scheme simulations executed.\n")
+	add("# TYPE valleyd_sim_cells_total counter\n")
+	add("valleyd_sim_cells_total %d\n", m.cellsSimulated.Load())
+
+	if m.queueDepth != nil {
+		add("# HELP valleyd_queue_depth Tasks waiting in the worker-pool queue.\n")
+		add("# TYPE valleyd_queue_depth gauge\n")
+		add("valleyd_queue_depth %d\n", m.queueDepth())
+	}
+	if m.workersBusy != nil {
+		add("# HELP valleyd_workers Configured worker-pool size.\n")
+		add("# TYPE valleyd_workers gauge\n")
+		add("valleyd_workers %d\n", m.workers)
+		add("# HELP valleyd_workers_busy Workers currently executing a task.\n")
+		add("# TYPE valleyd_workers_busy gauge\n")
+		add("valleyd_workers_busy %d\n", m.workersBusy())
+		add("# HELP valleyd_worker_utilization Busy workers over pool size.\n")
+		add("# TYPE valleyd_worker_utilization gauge\n")
+		util := 0.0
+		if m.workers > 0 {
+			util = float64(m.workersBusy()) / float64(m.workers)
+		}
+		add("valleyd_worker_utilization %g\n", util)
+	}
+
+	n, err := w.Write(b)
+	return int64(n), err
+}

@@ -1,0 +1,815 @@
+// Package service is the engine behind valleyd: it packages the
+// library's entropy profiling, mapping advice and full-system simulation
+// as a concurrent, cached network service. The three building blocks
+// are a content-addressed LRU profile cache with in-flight coalescing
+// (cache.go), a bounded worker pool executing simulation sweep jobs
+// (jobs.go), and a stdlib net/http JSON API over both (http.go), with
+// Prometheus-style plain-text metrics (metrics.go).
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"valleymap/internal/bim"
+	"valleymap/internal/entropy"
+	"valleymap/internal/experiments"
+	"valleymap/internal/gpusim"
+	"valleymap/internal/layout"
+	"valleymap/internal/mapping"
+	"valleymap/internal/trace"
+	"valleymap/internal/workload"
+)
+
+// Valley-classification thresholds, shared with the renderers and the
+// JSON export (Figure 5's qualitative low/high split).
+const (
+	valleyLow  = entropy.DefaultLow
+	valleyHigh = entropy.DefaultHigh
+)
+
+// minProfileBits is the smallest profile width that covers every
+// channel/bank bit of the reference layout — narrower profiles would
+// index past PerBit when classifying the valley.
+var minProfileBits = func() int {
+	l := layout.HynixGDDR5()
+	min := 1
+	for _, b := range layout.Bits0(l.MaskOf(layout.Channel, layout.Bank)) {
+		if b+1 > min {
+			min = b + 1
+		}
+	}
+	return min
+}()
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the worker-pool task queue (0 = 256).
+	QueueDepth int
+	// CacheEntries bounds the profile LRU cache (0 = 512).
+	CacheEntries int
+	// MaxTraceBytes caps uploaded trace bodies (0 = 64 MiB).
+	MaxTraceBytes int64
+	// MaxJobs bounds retained jobs; finished jobs beyond the cap are
+	// evicted oldest-first (0 = 1000).
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 256
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 512
+	}
+	if c.MaxTraceBytes == 0 {
+		c.MaxTraceBytes = 64 << 20
+	}
+	if c.MaxJobs == 0 {
+		c.MaxJobs = 1000
+	}
+	return c
+}
+
+// Service is the valleyd engine. Construct with New, serve its Handler,
+// Close on shutdown.
+type Service struct {
+	cfg     Config
+	metrics *Metrics
+	cache   *profileCache
+	jobs    *jobStore
+	pool    *pool
+	// profileSem bounds concurrent profile computations (trace builds +
+	// entropy analysis run on handler goroutines, not the sweep pool);
+	// without it, N distinct-key requests materialize N traces at once.
+	profileSem chan struct{}
+	start      time.Time
+}
+
+// New builds a service with its worker pool running.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	m := NewMetrics()
+	return &Service{
+		cfg:        cfg,
+		metrics:    m,
+		cache:      newProfileCache(cfg.CacheEntries, m),
+		jobs:       newJobStore(cfg.MaxJobs),
+		pool:       newPool(cfg.Workers, cfg.QueueDepth, m),
+		profileSem: make(chan struct{}, cfg.Workers),
+		start:      time.Now(),
+	}
+}
+
+// Close drains the worker pool. In-flight jobs finish; new submissions
+// are rejected.
+func (s *Service) Close() { s.pool.close() }
+
+// Metrics exposes the service's counters (for embedding and tests).
+func (s *Service) Metrics() *Metrics { return s.metrics }
+
+// badRequestError marks client errors (HTTP 400); notFoundError marks
+// unknown-resource errors (HTTP 404).
+type badRequestError struct{ msg string }
+
+func (e badRequestError) Error() string { return e.msg }
+
+type notFoundError struct{ msg string }
+
+func (e notFoundError) Error() string { return e.msg }
+
+// overloadedError marks capacity exhaustion (HTTP 503).
+type overloadedError struct{ msg string }
+
+func (e overloadedError) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return badRequestError{fmt.Sprintf(format, args...)}
+}
+
+func notFoundf(format string, args ...any) error {
+	return notFoundError{fmt.Sprintf(format, args...)}
+}
+
+// ---------------------------------------------------------------------
+// Profiling
+// ---------------------------------------------------------------------
+
+// ProfileRequest asks for a per-bit entropy profile. Either Workload
+// names a built-in benchmark by Table II abbreviation, or TraceCSV
+// carries an inline trace in the library CSV format (large traces are
+// better POSTed as a text/csv body, which streams).
+type ProfileRequest struct {
+	Workload string `json:"workload,omitempty"`
+	TraceCSV string `json:"trace_csv,omitempty"`
+	// Scale selects built-in trace size: tiny, small (default), full.
+	Scale string `json:"scale,omitempty"`
+	// Window, Bits, LineBytes mirror AnalysisOptions (0 = 12/30/128).
+	// LineBytes must be a power of two; a negative value profiles the
+	// raw per-thread requests without coalescing.
+	Window    int `json:"window,omitempty"`
+	Bits      int `json:"bits,omitempty"`
+	LineBytes int `json:"line_bytes,omitempty"`
+	// Scheme optionally applies a mapping before profiling (post-mapping
+	// profiles, Figure 10); Seed selects the BIM instance.
+	Scheme string `json:"scheme,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+}
+
+// BitRange is a contiguous dead-bit run [Lo, Hi].
+type BitRange struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// ProfileResult is the structured entropy profile of one trace.
+type ProfileResult struct {
+	Trace        TraceInfo  `json:"trace"`
+	Window       int        `json:"window"`
+	Bits         int        `json:"bits"`
+	LineBytes    int        `json:"line_bytes"`
+	Scheme       string     `json:"scheme,omitempty"`
+	Seed         int64      `json:"seed,omitempty"`
+	PerBit       []float64  `json:"per_bit"`
+	MeanChannel  float64    `json:"mean_channel_entropy"`
+	MeanBank     float64    `json:"mean_bank_entropy"`
+	MinChanBank  float64    `json:"min_channel_bank_entropy"`
+	Valley       bool       `json:"valley"`
+	ValleyRanges []BitRange `json:"valley_ranges"`
+	CacheKey     string     `json:"cache_key"`
+}
+
+// TraceInfo summarizes the profiled trace.
+type TraceInfo struct {
+	Name     string `json:"name"`
+	Abbr     string `json:"abbr"`
+	Scale    string `json:"scale,omitempty"`
+	SHA256   string `json:"sha256,omitempty"`
+	Kernels  int    `json:"kernels"`
+	Requests int    `json:"requests"`
+}
+
+type profileOptions struct {
+	window, bits, lineBytes int
+	scheme                  mapping.Scheme
+	seed                    int64
+}
+
+func (r ProfileRequest) options() (profileOptions, error) {
+	o := profileOptions{window: r.Window, bits: r.Bits, lineBytes: r.LineBytes, seed: r.Seed}
+	if o.window == 0 {
+		o.window = 12
+	}
+	if o.bits == 0 {
+		o.bits = 30
+	}
+	if o.lineBytes == 0 {
+		o.lineBytes = 128
+	}
+	if o.window < 1 {
+		return o, badRequestf("window must be >= 1, got %d", r.Window)
+	}
+	if o.bits < minProfileBits || o.bits > 64 {
+		return o, badRequestf("bits must be in [%d,64], got %d (profiles index the layout's channel/bank bits)", minProfileBits, r.Bits)
+	}
+	// The coalescer's line mask assumes a power of two; anything else
+	// would mangle addresses and silently cache a garbage profile.
+	if o.lineBytes > 0 && (o.lineBytes&(o.lineBytes-1) != 0 || o.lineBytes > 1<<20) {
+		return o, badRequestf("line_bytes must be a power of two <= 1048576, got %d", r.LineBytes)
+	}
+	if r.Scheme != "" {
+		s, err := mapping.ParseScheme(r.Scheme)
+		if err != nil {
+			return o, badRequestf("unknown scheme %q (want one of %v)", r.Scheme, mapping.Schemes())
+		}
+		o.scheme = s
+		if o.seed == 0 {
+			o.seed = 1
+		}
+	} else {
+		// The seed only feeds the mapper; normalize it away so identical
+		// unmapped profiles share one cache entry regardless of seed.
+		o.seed = 0
+	}
+	return o, nil
+}
+
+func (o profileOptions) cacheKey(src string) string {
+	return fmt.Sprintf("%s|w=%d|b=%d|l=%d|x=%s:%d", src, o.window, o.bits, o.lineBytes, o.scheme, o.seed)
+}
+
+func parseScale(s string) (workload.Scale, string, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "tiny":
+		return workload.Tiny, "tiny", nil
+	case "", "small":
+		return workload.Small, "small", nil
+	case "full":
+		return workload.Full, "full", nil
+	default:
+		return 0, "", badRequestf("unknown scale %q (want tiny, small or full)", s)
+	}
+}
+
+// Profile computes (or retrieves) the entropy profile described by req.
+// The second return reports a cache hit.
+func (s *Service) Profile(req ProfileRequest) (*ProfileResult, bool, error) {
+	opt, err := req.options()
+	if err != nil {
+		return nil, false, err
+	}
+	switch {
+	case req.Workload != "" && req.TraceCSV != "":
+		return nil, false, badRequestf("give either workload or trace_csv, not both")
+	case req.Workload != "":
+		spec, ok := workload.ByAbbr(req.Workload)
+		if !ok {
+			return nil, false, notFoundf("unknown workload %q (want one of %v)", req.Workload, workload.Abbrs())
+		}
+		scale, scaleName, err := parseScale(req.Scale)
+		if err != nil {
+			return nil, false, err
+		}
+		return s.workloadProfile(spec, scaleName, opt, func() *trace.App { return spec.Build(scale) })
+	case req.TraceCSV != "":
+		app, sum, err := trace.ReadCSVHashed(strings.NewReader(req.TraceCSV))
+		if err != nil {
+			return nil, false, badRequestf("bad trace: %v", err)
+		}
+		return s.profileUpload(app, sum, opt)
+	default:
+		return nil, false, badRequestf("request needs a workload abbreviation or a trace")
+	}
+}
+
+// ProfileTrace profiles an already-decoded uploaded trace (the text/csv
+// body path of POST /v1/profile).
+func (s *Service) ProfileTrace(app *trace.App, sha string, req ProfileRequest) (*ProfileResult, bool, error) {
+	opt, err := req.options()
+	if err != nil {
+		return nil, false, err
+	}
+	return s.profileUpload(app, sha, opt)
+}
+
+// workloadProfile is the single owner of the built-in-workload cache-key
+// format, shared by Profile and Advise so their entries always collide
+// (advise reuses profiles /v1/profile already computed, and vice versa).
+func (s *Service) workloadProfile(spec workload.Spec, scaleName string, opt profileOptions, build func() *trace.App) (*ProfileResult, bool, error) {
+	key := opt.cacheKey("wl:" + spec.Abbr + ":" + scaleName)
+	return s.cachedProfile(key, opt, func() (*trace.App, TraceInfo, error) {
+		return build(), TraceInfo{Name: spec.Name, Abbr: spec.Abbr, Scale: scaleName}, nil
+	})
+}
+
+func (s *Service) profileUpload(app *trace.App, sha string, opt profileOptions) (*ProfileResult, bool, error) {
+	key := opt.cacheKey("tr:" + sha)
+	return s.cachedProfile(key, opt, func() (*trace.App, TraceInfo, error) {
+		return app, TraceInfo{Name: app.Name, Abbr: app.Abbr, SHA256: sha}, nil
+	})
+}
+
+func (s *Service) cachedProfile(key string, opt profileOptions, build func() (*trace.App, TraceInfo, error)) (*ProfileResult, bool, error) {
+	return s.cache.GetOrCompute(key, func() (*ProfileResult, error) {
+		s.profileSem <- struct{}{}
+		defer func() { <-s.profileSem }()
+		app, info, err := build()
+		if err != nil {
+			return nil, err
+		}
+		return computeProfile(app, info, opt, key)
+	})
+}
+
+func computeProfile(app *trace.App, info TraceInfo, opt profileOptions, key string) (*ProfileResult, error) {
+	var f entropy.Transform
+	if opt.scheme != "" {
+		m, err := mapping.New(opt.scheme, layout.HynixGDDR5(), mapping.Options{Seed: opt.seed})
+		if err != nil {
+			return nil, badRequestf("building %s mapper: %v", opt.scheme, err)
+		}
+		f = m.Map
+	}
+	a := app
+	if opt.lineBytes > 0 {
+		a = trace.CoalesceApp(app, opt.lineBytes)
+	}
+	prof := entropy.AppProfile(a, opt.window, opt.bits, f)
+
+	info.Kernels = len(app.Kernels)
+	info.Requests = prof.Requests
+	l := layout.HynixGDDR5()
+	// Bits below the block offset — and, when coalescing is on, below
+	// the line size — are structurally zero: they carry no entropy by
+	// construction, so they are excluded from valley classification,
+	// the channel/bank means, and the reported ranges alike (otherwise
+	// line_bytes >= 512 would zero channel bit 8 and flag a "valley"
+	// for every trace).
+	clipTop := len(l.FieldBits(layout.Block))
+	if opt.lineBytes > 0 {
+		if lineTop := bits.TrailingZeros64(uint64(opt.lineBytes)); lineTop > clipTop {
+			clipTop = lineTop
+		}
+	}
+	clip := func(positions []int) []int {
+		out := positions[:0:0]
+		for _, b := range positions {
+			if b >= clipTop {
+				out = append(out, b)
+			}
+		}
+		return out
+	}
+	ch := clip(l.FieldBits(layout.Channel))
+	bank := clip(l.FieldBits(layout.Bank))
+	res := &ProfileResult{
+		Trace:       info,
+		Window:      opt.window,
+		Bits:        opt.bits,
+		LineBytes:   opt.lineBytes,
+		Scheme:      string(opt.scheme),
+		PerBit:      prof.PerBit,
+		MeanChannel: prof.Mean(ch),
+		MeanBank:    prof.Mean(bank),
+		MinChanBank: prof.Min(append(append([]int(nil), ch...), bank...)),
+		Valley:      prof.ChannelBankValley(ch, bank, valleyLow, valleyHigh),
+		CacheKey:    key,
+	}
+	if opt.scheme != "" {
+		res.Seed = opt.seed
+	}
+	res.ValleyRanges = []BitRange{}
+	for _, r := range prof.ValleyRanges(valleyLow, valleyHigh) {
+		if r.Hi < clipTop {
+			continue
+		}
+		if r.Lo < clipTop {
+			r.Lo = clipTop
+		}
+		res.ValleyRanges = append(res.ValleyRanges, BitRange{Lo: r.Lo, Hi: r.Hi})
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------
+// Mapping advice
+// ---------------------------------------------------------------------
+
+// AdviseRequest asks for a mapping recommendation. The trace inputs
+// mirror ProfileRequest; Schemes/Seeds narrow the candidate set
+// (defaults: PAE/FAE/ALL × seeds 1..3, the paper's BIM-1..BIM-3).
+type AdviseRequest struct {
+	ProfileRequest
+	Schemes []string `json:"schemes,omitempty"`
+	Seeds   []int64  `json:"seeds,omitempty"`
+}
+
+// Candidate is one evaluated scheme × seed pair.
+type Candidate struct {
+	Scheme      string     `json:"scheme"`
+	Seed        int64      `json:"seed"`
+	MeanChannel float64    `json:"mean_channel_entropy"`
+	MeanBank    float64    `json:"mean_bank_entropy"`
+	ChannelGain float64    `json:"channel_entropy_gain"`
+	BankGain    float64    `json:"bank_entropy_gain"`
+	Gain        float64    `json:"gain"`
+	XORGates    int        `json:"xor_gates"`
+	Depth       int        `json:"xor_depth"`
+	BIM         bim.Matrix `json:"bim"`
+}
+
+// AdviseResult recommends a BIM for a trace.
+type AdviseResult struct {
+	Base        *ProfileResult `json:"base"`
+	Recommended Candidate      `json:"recommended"`
+	Candidates  []Candidate    `json:"candidates"`
+}
+
+// Advise profiles the trace under each candidate mapping and recommends
+// the one with the highest channel+bank entropy gain; within 0.01 of
+// the best, the cheapest XOR tree wins (hardware-minimal tiebreak).
+func (s *Service) Advise(req AdviseRequest) (*AdviseResult, error) {
+	if req.Scheme != "" {
+		return nil, badRequestf("advise profiles the unmapped trace; leave scheme empty")
+	}
+	if req.Seed != 0 {
+		return nil, badRequestf("advise evaluates candidates per seed; use seeds instead of seed")
+	}
+	schemes := []mapping.Scheme{mapping.PAE, mapping.FAE, mapping.ALL}
+	if len(req.Schemes) > 0 {
+		schemes = schemes[:0]
+		for _, name := range req.Schemes {
+			sc, err := mapping.ParseScheme(name)
+			if err != nil {
+				return nil, badRequestf("unknown scheme %q (want one of %v)", name, mapping.Schemes())
+			}
+			if sc == mapping.BASE {
+				return nil, badRequestf("BASE is the identity mapping; it cannot be a candidate")
+			}
+			schemes = append(schemes, sc)
+		}
+	}
+	seeds := []int64{1, 2, 3}
+	if len(req.Seeds) > 0 {
+		for _, seed := range req.Seeds {
+			// Seed 0 would be silently renormalized to 1 when profiling
+			// the candidate, so the returned BIM would not match its
+			// reported gains.
+			if seed <= 0 {
+				return nil, badRequestf("seeds must be positive, got %d", seed)
+			}
+		}
+		seeds = req.Seeds
+	}
+
+	// Build or decode the trace once and reuse it for the base profile
+	// and every candidate, instead of re-constructing it per scheme ×
+	// seed pair on a cold cache. Cache keys stay identical to the ones
+	// /v1/profile uses, so advise and profile share entries.
+	profile := func(r ProfileRequest) (*ProfileResult, bool, error) { return s.Profile(r) }
+	switch {
+	case req.TraceCSV != "" && req.Workload != "":
+		return nil, badRequestf("give either workload or trace_csv, not both")
+	case req.TraceCSV != "":
+		app, sum, err := trace.ReadCSVHashed(strings.NewReader(req.TraceCSV))
+		if err != nil {
+			return nil, badRequestf("bad trace: %v", err)
+		}
+		profile = func(r ProfileRequest) (*ProfileResult, bool, error) {
+			r.TraceCSV = ""
+			return s.ProfileTrace(app, sum, r)
+		}
+	case req.Workload != "":
+		spec, ok := workload.ByAbbr(req.Workload)
+		if !ok {
+			return nil, notFoundf("unknown workload %q (want one of %v)", req.Workload, workload.Abbrs())
+		}
+		scale, scaleName, err := parseScale(req.Scale)
+		if err != nil {
+			return nil, err
+		}
+		var (
+			once sync.Once
+			app  *trace.App
+		)
+		buildApp := func() *trace.App {
+			once.Do(func() { app = spec.Build(scale) })
+			return app
+		}
+		profile = func(r ProfileRequest) (*ProfileResult, bool, error) {
+			opt, err := r.options()
+			if err != nil {
+				return nil, false, err
+			}
+			return s.workloadProfile(spec, scaleName, opt, buildApp)
+		}
+	}
+
+	base, _, err := profile(req.ProfileRequest)
+	if err != nil {
+		return nil, err
+	}
+
+	l := layout.HynixGDDR5()
+	ch, bank := l.FieldBits(layout.Channel), l.FieldBits(layout.Bank)
+	var cands []Candidate
+	for _, sc := range schemes {
+		// Deterministic schemes (PM, RMP) ignore the seed: evaluate once
+		// under a fixed seed so repeat calls with different seed lists
+		// share one cache entry, and report Seed 0 ("not applicable").
+		scSeeds := seeds
+		if sc == mapping.PM || sc == mapping.RMP {
+			scSeeds = []int64{1}
+		}
+		for _, seed := range scSeeds {
+			creq := req.ProfileRequest
+			creq.Scheme = string(sc)
+			creq.Seed = seed
+			prof, _, err := profile(creq)
+			if err != nil {
+				return nil, err
+			}
+			m, err := mapping.New(sc, l, mapping.Options{Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			gates, depth := m.GateCost()
+			candSeed := seed
+			if sc == mapping.PM || sc == mapping.RMP {
+				candSeed = 0
+			}
+			cand := Candidate{
+				Scheme:      string(sc),
+				Seed:        candSeed,
+				MeanChannel: prof.MeanChannel,
+				MeanBank:    prof.MeanBank,
+				ChannelGain: prof.MeanChannel - base.MeanChannel,
+				BankGain:    prof.MeanBank - base.MeanBank,
+				XORGates:    gates,
+				Depth:       depth,
+				BIM:         m.Matrix(),
+			}
+			nCh, nBank := float64(len(ch)), float64(len(bank))
+			cand.Gain = (cand.ChannelGain*nCh + cand.BankGain*nBank) / (nCh + nBank)
+			cands = append(cands, cand)
+		}
+	}
+	// Rank by gain; within 0.01 of the top gain, the cheapest XOR tree
+	// wins (always measured against cands[0], so near-ties cannot chain
+	// the recommendation further than 0.01 below the best).
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].Gain > cands[j].Gain })
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if cands[0].Gain-c.Gain <= 0.01 && c.XORGates < best.XORGates {
+			best = c
+		}
+	}
+	return &AdviseResult{Base: base, Recommended: best, Candidates: cands}, nil
+}
+
+// ---------------------------------------------------------------------
+// Simulation sweeps
+// ---------------------------------------------------------------------
+
+// SimulateRequest enqueues a workload × scheme sweep. Workloads lists
+// Table II abbreviations, or Set names a group (valley, nonvalley,
+// all). Config picks the simulated system: baseline (12 SMs), conv-24,
+// conv-48, or 3d (64-SM 3D-stacked).
+type SimulateRequest struct {
+	Workloads []string `json:"workloads,omitempty"`
+	Set       string   `json:"set,omitempty"`
+	Schemes   []string `json:"schemes,omitempty"`
+	Scale     string   `json:"scale,omitempty"`
+	Seed      int64    `json:"seed,omitempty"`
+	Config    string   `json:"config,omitempty"`
+}
+
+// CellResult is one workload × scheme simulation: the shared metric
+// flattening of internal/experiments plus the sweep coordinates.
+type CellResult struct {
+	Workload string  `json:"workload"`
+	Scheme   string  `json:"scheme"`
+	Speedup  float64 `json:"speedup,omitempty"`
+	experiments.ResultJSON
+}
+
+// SimulateResult aggregates a finished sweep. Speedups and HMeanSpeedup
+// are present when BASE is among the schemes.
+type SimulateResult struct {
+	Config       string             `json:"config"`
+	Scale        string             `json:"scale"`
+	Seed         int64              `json:"seed"`
+	Workloads    []string           `json:"workloads"`
+	Schemes      []string           `json:"schemes"`
+	Cells        []CellResult       `json:"cells"`
+	HMeanSpeedup map[string]float64 `json:"hmean_speedup,omitempty"`
+}
+
+func parseSimConfig(name string) (gpusim.Config, string, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "baseline", "conv-12":
+		return gpusim.Baseline(), "baseline", nil
+	case "conv-24":
+		return gpusim.Conventional(24), "conv-24", nil
+	case "conv-48":
+		return gpusim.Conventional(48), "conv-48", nil
+	case "3d", "stacked3d", "3d-64sm":
+		return gpusim.Stacked3D(), "3d", nil
+	default:
+		return gpusim.Config{}, "", badRequestf("unknown config %q (want baseline, conv-24, conv-48 or 3d)", name)
+	}
+}
+
+func (s *Service) resolveSweep(req SimulateRequest) ([]workload.Spec, []mapping.Scheme, gpusim.Config, string, workload.Scale, string, error) {
+	var specs []workload.Spec
+	switch {
+	case len(req.Workloads) > 0 && req.Set != "":
+		return nil, nil, gpusim.Config{}, "", 0, "", badRequestf("give either workloads or set, not both")
+	case len(req.Workloads) > 0:
+		for _, abbr := range req.Workloads {
+			spec, ok := workload.ByAbbr(abbr)
+			if !ok {
+				return nil, nil, gpusim.Config{}, "", 0, "", notFoundf("unknown workload %q (want one of %v)", abbr, workload.Abbrs())
+			}
+			specs = append(specs, spec)
+		}
+	default:
+		switch strings.ToLower(strings.TrimSpace(req.Set)) {
+		case "valley":
+			specs = workload.ValleySet()
+		case "nonvalley", "non-valley":
+			specs = workload.NonValleySet()
+		case "all":
+			specs = workload.Catalog()
+		case "":
+			return nil, nil, gpusim.Config{}, "", 0, "", badRequestf("request needs workloads or a set (valley, nonvalley, all)")
+		default:
+			return nil, nil, gpusim.Config{}, "", 0, "", badRequestf("unknown set %q (want valley, nonvalley or all)", req.Set)
+		}
+	}
+
+	schemes := mapping.Schemes()
+	if len(req.Schemes) > 0 {
+		schemes = schemes[:0]
+		for _, name := range req.Schemes {
+			sc, err := mapping.ParseScheme(name)
+			if err != nil {
+				return nil, nil, gpusim.Config{}, "", 0, "", badRequestf("unknown scheme %q (want one of %v)", name, mapping.Schemes())
+			}
+			schemes = append(schemes, sc)
+		}
+	}
+
+	cfg, cfgName, err := parseSimConfig(req.Config)
+	if err != nil {
+		return nil, nil, gpusim.Config{}, "", 0, "", err
+	}
+	scale, scaleName, err := parseScale(req.Scale)
+	if err != nil {
+		return nil, nil, gpusim.Config{}, "", 0, "", err
+	}
+	return specs, schemes, cfg, cfgName, scale, scaleName, nil
+}
+
+// Simulate validates the sweep, enqueues it on the worker pool and
+// returns the queued job. Poll Job for progress and results.
+func (s *Service) Simulate(req SimulateRequest) (Job, error) {
+	specs, schemes, cfg, cfgName, scale, scaleName, err := s.resolveSweep(req)
+	if err != nil {
+		return Job{}, err
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	total := len(specs) * len(schemes)
+	job, err := s.jobs.create("simulate", total)
+	if err != nil {
+		return Job{}, overloadedError{err.Error()}
+	}
+	s.metrics.jobsEnqueued.Add(1)
+
+	result := &SimulateResult{
+		Config: cfgName,
+		Scale:  scaleName,
+		Seed:   seed,
+		Cells:  make([]CellResult, total),
+	}
+	for _, sp := range specs {
+		result.Workloads = append(result.Workloads, sp.Abbr)
+	}
+	for _, sc := range schemes {
+		result.Schemes = append(result.Schemes, string(sc))
+	}
+
+	// The dispatcher goroutine owns the job lifecycle: it fans cells out
+	// over the pool (blocking on the bounded queue for backpressure),
+	// waits, aggregates and finishes the job. The HTTP handler returns
+	// the queued job immediately.
+	// Snapshot before the dispatcher starts mutating the stored job; if
+	// the sweep finishes and is evicted under churn before we re-read,
+	// this creation-time copy is still a valid handle for the client.
+	created := *job
+	go s.runSweep(job.ID, specs, schemes, cfg, scale, seed, result)
+	if snap, ok := s.jobs.get(job.ID); ok {
+		return snap, nil
+	}
+	return created, nil
+}
+
+func (s *Service) runSweep(jobID string, specs []workload.Spec, schemes []mapping.Scheme, cfg gpusim.Config, scale workload.Scale, seed int64, result *SimulateResult) {
+	s.jobs.setRunning(jobID)
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for wi, sp := range specs {
+		for si, sc := range schemes {
+			wi, si, sp, sc := wi, si, sp, sc
+			wg.Add(1)
+			task := func() {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("simulating %s under %s: %v", sp.Abbr, sc, r)
+						}
+						errMu.Unlock()
+					}
+				}()
+				// Build per cell: cells of one workload must not share a
+				// trace across goroutines.
+				app := sp.Build(scale)
+				m := mapping.MustNew(sc, cfg.Layout, mapping.Options{Seed: seed})
+				res := gpusim.Run(app, m, cfg)
+				result.Cells[wi*len(schemes)+si] = CellResult{
+					Workload:   sp.Abbr,
+					Scheme:     string(sc),
+					ResultJSON: experiments.FlattenResult(res),
+				}
+				s.metrics.cellsSimulated.Add(1)
+				s.jobs.cellDone(jobID)
+			}
+			if !s.pool.submit(task) {
+				wg.Done()
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = errors.New("service shutting down")
+				}
+				errMu.Unlock()
+			}
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		s.metrics.jobsFailed.Add(1)
+		s.jobs.finish(jobID, nil, firstErr)
+		return
+	}
+	aggregateSweep(result)
+	s.metrics.jobsDone.Add(1)
+	s.jobs.finish(jobID, result, nil)
+}
+
+// aggregateSweep fills speedups vs BASE and per-scheme harmonic means
+// when the sweep includes the BASE scheme.
+func aggregateSweep(r *SimulateResult) {
+	baseTime := map[string]int64{}
+	for _, c := range r.Cells {
+		if c.Scheme == string(mapping.BASE) {
+			baseTime[c.Workload] = c.ExecTimePS
+		}
+	}
+	if len(baseTime) == 0 {
+		return
+	}
+	perScheme := map[string][]float64{}
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if b, ok := baseTime[c.Workload]; ok && c.ExecTimePS > 0 {
+			c.Speedup = float64(b) / float64(c.ExecTimePS)
+			perScheme[c.Scheme] = append(perScheme[c.Scheme], c.Speedup)
+		}
+	}
+	r.HMeanSpeedup = map[string]float64{}
+	for sc, xs := range perScheme {
+		r.HMeanSpeedup[sc] = experiments.HarmonicMean(xs)
+	}
+}
+
+// Job returns a snapshot of the named job.
+func (s *Service) Job(id string) (Job, bool) { return s.jobs.get(id) }

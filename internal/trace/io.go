@@ -15,6 +15,8 @@ package trace
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"strconv"
@@ -37,6 +39,20 @@ func WriteCSV(w io.Writer, a *App) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// ReadCSVHashed is ReadCSV plus a content hash: it streams the input
+// once, decoding the trace while feeding the raw bytes through SHA-256,
+// and returns the hex digest alongside the app. Network services use the
+// digest as a content-addressed cache key for uploaded traces without
+// buffering the body a second time.
+func ReadCSVHashed(r io.Reader) (*App, string, error) {
+	h := sha256.New()
+	app, err := ReadCSV(io.TeeReader(r, h))
+	if err != nil {
+		return nil, "", err
+	}
+	return app, hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // ReadCSV parses a trace written by WriteCSV (or hand-assembled in the

@@ -645,6 +645,18 @@ func NonValleySet() []Spec {
 	return out
 }
 
+// Abbrs returns the abbreviations of every workload (benchmarks plus
+// standalone kernels) in catalog order — the valid values services and
+// CLIs accept, and the list they print in "unknown workload" errors.
+func Abbrs() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, s := range all {
+		out[i] = s.Abbr
+	}
+	return out
+}
+
 // ByAbbr looks up a workload (benchmark or standalone kernel) by its
 // Table II abbreviation.
 func ByAbbr(abbr string) (Spec, bool) {

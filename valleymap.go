@@ -10,6 +10,7 @@ import (
 	"valleymap/internal/layout"
 	"valleymap/internal/mapping"
 	"valleymap/internal/power"
+	"valleymap/internal/service"
 	"valleymap/internal/sim"
 	"valleymap/internal/trace"
 	"valleymap/internal/workload"
@@ -231,7 +232,7 @@ type ExperimentOptions = experiments.Options
 // series of Figures 11–17 and 20.
 type SuiteResult = experiments.SuiteResult
 
-// Experiment runners (see DESIGN.md for the full index).
+// Experiment runners (see README.md for the experiment index).
 func Figure3() (w2, w4 float64)                                { return experiments.Figure3() }
 func Figure5(o ExperimentOptions) map[string]Profile           { return experiments.Figure5(o) }
 func Figure10(o ExperimentOptions) map[Scheme]Profile          { return experiments.Figure10(o) }
@@ -294,3 +295,30 @@ func WriteTraceCSV(w io.Writer, app *App) error { return trace.WriteCSV(w, app) 
 // ReadTraceCSV parses a trace in the package's CSV format — the path for
 // analyzing *real* GPU traces dumped by an instrumented simulator.
 func ReadTraceCSV(r io.Reader) (*App, error) { return trace.ReadCSV(r) }
+
+// ---------------------------------------------------------------------
+// Service (cmd/valleyd and embedders)
+// ---------------------------------------------------------------------
+
+// Service is the valleyd engine: a concurrent entropy-profiling and
+// mapping-advisor service with a content-addressed LRU profile cache
+// and a bounded worker pool for simulation sweeps. Serve its Handler
+// over net/http, or call Profile/Advise/Simulate directly in-process.
+type Service = service.Service
+
+// ServiceConfig sizes a Service (workers, queue depth, cache entries).
+type ServiceConfig = service.Config
+
+// Service request/response types.
+type (
+	ServiceProfileRequest  = service.ProfileRequest
+	ServiceProfileResult   = service.ProfileResult
+	ServiceAdviseRequest   = service.AdviseRequest
+	ServiceAdviseResult    = service.AdviseResult
+	ServiceSimulateRequest = service.SimulateRequest
+	ServiceSimulateResult  = service.SimulateResult
+	ServiceJob             = service.Job
+)
+
+// NewService starts a service engine (its worker pool runs until Close).
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
