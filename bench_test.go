@@ -327,3 +327,58 @@ func BenchmarkFigure20NonValley(b *testing.B) {
 	b.ReportMetric(suite.HMeanSpeedup(valleymap.PAE), "PAE-hmean-speedup")
 	b.ReportMetric(suite.HMeanSpeedup(valleymap.FAE), "FAE-hmean-speedup")
 }
+
+// ---------------------------------------------------------------------
+// Streaming-pipeline benchmarks (the PR-2 refactor): materialized
+// build+copy+profile vs one-pass generate→coalesce→profile.
+// ---------------------------------------------------------------------
+
+// BenchmarkProfilePipeline compares the two profiling pipelines end to
+// end on MT at small scale. "materialized" is the pre-streaming path
+// (Build the trace, CoalesceApp copies it, AppProfile walks it);
+// "streaming" folds the generator's batches online at O(window × bits)
+// memory; "streaming-parallel" adds the per-TB worker fan-out. The
+// ns/request metric divides by the coalesced request count.
+func BenchmarkProfilePipeline(b *testing.B) {
+	spec, _ := valleymap.WorkloadByAbbr("MT")
+	perRequest := func(b *testing.B, prof valleymap.Profile) {
+		b.Helper()
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(prof.Requests), "ns/request")
+	}
+
+	b.Run("materialized", func(b *testing.B) {
+		b.ReportAllocs()
+		var prof valleymap.Profile
+		for i := 0; i < b.N; i++ {
+			app := spec.Build(valleymap.ScaleSmall)
+			prof = valleymap.AnalyzeApp(app, valleymap.AnalysisOptions{})
+		}
+		perRequest(b, prof)
+	})
+	b.Run("streaming", func(b *testing.B) {
+		b.ReportAllocs()
+		var prof valleymap.Profile
+		for i := 0; i < b.N; i++ {
+			var err error
+			prof, err = valleymap.AnalyzeSource(spec.Source(valleymap.ScaleSmall),
+				valleymap.AnalysisOptions{Workers: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		perRequest(b, prof)
+	})
+	b.Run("streaming-parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		var prof valleymap.Profile
+		for i := 0; i < b.N; i++ {
+			var err error
+			prof, err = valleymap.AnalyzeSource(spec.Source(valleymap.ScaleSmall),
+				valleymap.AnalysisOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		perRequest(b, prof)
+	})
+}

@@ -2,9 +2,14 @@
 // benchmark, optionally after an address mapping scheme — the per-
 // workload view behind Figures 5 and 10.
 //
+// Traces are profiled through the streaming pipeline (generate/decode →
+// coalesce → online windowed profile), so -trace handles files far
+// larger than memory at O(window × bits) footprint.
+//
 // Usage:
 //
 //	entropymap -bench MT [-scheme PAE] [-window 12] [-scale small] [-seed 1]
+//	entropymap -trace dump.csv [-scheme PAE] [-window 12]
 package main
 
 import (
@@ -30,19 +35,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "BIM seed")
 	flag.Parse()
 
-	var app *valleymap.App
+	// Both inputs stream: the generator emits TB by TB, the CSV decoder
+	// yields batches as the file is read. Nothing materializes the trace.
+	var src valleymap.TraceSource
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		app, err = valleymap.ReadTraceCSV(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
+		defer f.Close()
+		src = valleymap.StreamTraceCSV(f)
 	} else {
 		spec, ok := valleymap.WorkloadByAbbr(strings.ToUpper(*bench))
 		if !ok {
@@ -58,7 +61,7 @@ func main() {
 		default:
 			sc = valleymap.ScaleSmall
 		}
-		app = spec.Build(sc)
+		src = spec.Source(sc)
 	}
 	opt := valleymap.AnalysisOptions{Window: *window}
 	title := "physical addresses (BASE)"
@@ -67,11 +70,16 @@ func main() {
 		opt.Transform = m.Map
 		title = fmt.Sprintf("after %s mapping", strings.ToUpper(*scheme))
 	}
-	prof := valleymap.AnalyzeApp(app, opt)
+	prof, err := valleymap.AnalyzeSource(src, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
+	info := src.Info()
 	l := valleymap.HynixGDDR5()
 	fmt.Printf("%s (%s): window-based entropy of %s, w=%d, %d requests\n",
-		app.Name, app.Abbr, title, *window, prof.Requests)
+		info.Name, info.Abbr, title, *window, prof.Requests)
 	fmt.Printf("layout: %s\n\n", l)
 	for b := 29; b >= 6; b-- {
 		field := ""

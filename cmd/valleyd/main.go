@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	valleyd [-addr :8080] [-workers N] [-queue 256] [-cache 512]
+//	valleyd [-addr :8080] [-workers N] [-queue 256] [-cache 512] [-max-trace-bytes N]
 //
 // Endpoints:
 //
@@ -15,6 +15,11 @@
 //	GET  /v1/jobs/{id}                                   poll the sweep
 //	GET  /healthz
 //	GET  /metrics
+//
+// Trace uploads stream through the profiling pipeline at O(window × bits)
+// memory per request, so the body cap (413 limit) defaults to 256 MiB —
+// it bounds bandwidth, not memory — and can be raised further with
+// -max-trace-bytes.
 package main
 
 import (
@@ -36,6 +41,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "worker-pool queue depth (0 = 256)")
 	cacheEntries := flag.Int("cache", 0, "profile-cache entries (0 = 512)")
+	maxTraceBytes := flag.Int64("max-trace-bytes", 0, "uploaded trace body cap in bytes (0 = 256 MiB; uploads stream, so this bounds bandwidth, not memory)")
 	verbose := flag.Bool("v", false, "debug logging")
 	flag.Parse()
 
@@ -47,9 +53,10 @@ func main() {
 	slog.SetDefault(logger)
 
 	svc := valleymap.NewService(valleymap.ServiceConfig{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheEntries: *cacheEntries,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheEntries:  *cacheEntries,
+		MaxTraceBytes: *maxTraceBytes,
 	})
 	defer svc.Close()
 

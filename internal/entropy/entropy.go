@@ -70,19 +70,23 @@ func ProfileTB(tb *trace.TB, bits int) TBProfile {
 	total := int64(len(tb.Requests))
 	ones := make([]int64, bits)
 	for _, req := range tb.Requests {
-		a := req.Addr
-		for a != 0 {
-			b := trailingZeros(a)
-			if b < bits {
-				ones[b]++
-			}
-			a &= a - 1
-		}
+		countAddrBits(ones, req.Addr, bits)
 	}
 	for i := 0; i < bits; i++ {
 		p.BVR[i] = Ratio{Ones: ones[i], Total: total}
 	}
 	return p
+}
+
+// countAddrBits adds addr's one-bits below bits into ones — the single
+// counting kernel shared by the materialized and streaming profilers, so
+// both paths perform bit-for-bit identical arithmetic.
+func countAddrBits(ones []int64, addr uint64, bits int) {
+	for a := addr; a != 0; a &= a - 1 {
+		if b := trailingZeros(a); b < bits {
+			ones[b]++
+		}
+	}
 }
 
 func trailingZeros(x uint64) int {
@@ -230,25 +234,42 @@ func AppProfile(a *trace.App, window, bits int, f Transform) Profile {
 }
 
 // Mean returns the average entropy over the given bit positions.
+// Positions outside the profile are ignored; an empty selection (or one
+// with no in-range positions) yields the documented sentinel 0 — "no
+// bits selected" carries no entropy, and callers never see NaN or an
+// index panic.
 func (p Profile) Mean(positions []int) float64 {
-	if len(positions) == 0 {
+	s, n := 0.0, 0
+	for _, b := range positions {
+		if b >= 0 && b < len(p.PerBit) {
+			s += p.PerBit[b]
+			n++
+		}
+	}
+	if n == 0 {
 		return 0
 	}
-	s := 0.0
-	for _, b := range positions {
-		s += p.PerBit[b]
-	}
-	return s / float64(len(positions))
+	return s / float64(n)
 }
 
-// Min returns the minimum entropy over the given bit positions (1 if the
-// list is empty).
+// Min returns the minimum entropy over the given bit positions.
+// Positions outside the profile are ignored; an empty selection (or one
+// with no in-range positions) yields the documented sentinel 0 — with no
+// bits to measure, no entropy is guaranteed, mirroring Mean's false-style
+// empty value rather than vacuously claiming full entropy.
 func (p Profile) Min(positions []int) float64 {
-	min := 1.0
+	min, n := 1.0, 0
 	for _, b := range positions {
+		if b < 0 || b >= len(p.PerBit) {
+			continue
+		}
+		n++
 		if p.PerBit[b] < min {
 			min = p.PerBit[b]
 		}
+	}
+	if n == 0 {
+		return 0
 	}
 	return min
 }

@@ -234,11 +234,30 @@ func TestMeanMin(t *testing.T) {
 	p := Profile{PerBit: []float64{0.2, 0.4, 0.6, 0.8}}
 	approx(t, p.Mean([]int{0, 1, 2, 3}), 0.5, 1e-12, "mean")
 	approx(t, p.Min([]int{1, 3}), 0.4, 1e-12, "min")
+	// Empty selections return the documented 0 sentinel, never NaN.
 	if got := p.Mean(nil); got != 0 {
 		t.Errorf("Mean(nil) = %v", got)
 	}
-	if got := p.Min(nil); got != 1 {
-		t.Errorf("Min(nil) = %v", got)
+	if got := p.Min(nil); got != 0 {
+		t.Errorf("Min(nil) = %v, want the 0 sentinel", got)
+	}
+	if got := p.Mean([]int{}); got != 0 {
+		t.Errorf("Mean(empty) = %v", got)
+	}
+	// Out-of-range positions are ignored instead of panicking; a
+	// selection with no in-range positions behaves like an empty one.
+	if got := p.Mean([]int{-1, 99}); got != 0 {
+		t.Errorf("Mean(out of range) = %v", got)
+	}
+	if got := p.Min([]int{-1, 99}); got != 0 {
+		t.Errorf("Min(out of range) = %v", got)
+	}
+	approx(t, p.Mean([]int{1, 99}), 0.4, 1e-12, "mean skips out-of-range")
+	approx(t, p.Min([]int{2, -5}), 0.6, 1e-12, "min skips out-of-range")
+	// Empty profiles never index out of bounds.
+	var empty Profile
+	if empty.Mean([]int{0, 1}) != 0 || empty.Min([]int{0, 1}) != 0 {
+		t.Error("empty profile must yield 0 sentinels")
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 
-	"valleymap/internal/entropy"
 	"valleymap/internal/gpusim"
 	"valleymap/internal/layout"
 	"valleymap/internal/mapping"
@@ -60,7 +59,8 @@ func AblationInputBreadth(opt Options) []BreadthPoint {
 			base := gpusim.Run(app, mapping.NewBASE(l), cfg)
 			res := gpusim.Run(app, m, cfg)
 			spSum += float64(base.ExecTime) / float64(res.ExecTime)
-			prof := entropy.AppProfile(trace.CoalesceApp(app, opt.LineBytes), opt.Window, opt.Bits, m.Map)
+			st := trace.CoalesceStream(trace.AppSource(app).Stream(), opt.LineBytes)
+			prof := streamProfile(st, opt.Window, opt.Bits, nil, m.MapBatch)
 			cbSum += prof.Min(chBank)
 		}
 		points[i].Speedup = spSum / float64(len(specs))
@@ -102,7 +102,10 @@ type WindowPoint struct {
 func AblationWindowSize(opt Options, windows []int) []WindowPoint {
 	opt = opt.withDefaults()
 	spec, _ := workload.ByAbbr("MT")
+	// Coalesce once into memory, then stream one profiling pass per
+	// window size.
 	app := trace.CoalesceApp(spec.Build(opt.Scale), opt.LineBytes)
+	src := trace.AppSource(app)
 	chBank := []int{8, 9, 10, 11, 12, 13}
 	var nonBlock []int
 	for b := 6; b < opt.Bits; b++ {
@@ -110,7 +113,7 @@ func AblationWindowSize(opt Options, windows []int) []WindowPoint {
 	}
 	out := make([]WindowPoint, 0, len(windows))
 	for _, w := range windows {
-		p := entropy.AppProfile(app, w, opt.Bits, nil)
+		p := streamProfile(src.Stream(), w, opt.Bits, nil, nil)
 		out = append(out, WindowPoint{
 			Window:     w,
 			MeanChBank: p.Mean(chBank),

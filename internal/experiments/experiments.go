@@ -5,6 +5,9 @@
 package experiments
 
 import (
+	"fmt"
+	"runtime"
+
 	"valleymap/internal/entropy"
 	"valleymap/internal/gpusim"
 	"valleymap/internal/layout"
@@ -46,11 +49,35 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// streamProfile drains a stream through the online profiler with per-TB
+// fan-out across the machine — the experiments' profiling hot path.
+// In-memory and generator streams cannot fail, so an error here is a
+// programming bug, not an input condition.
+func streamProfile(st trace.Stream, window, bits int, f entropy.Transform, bf func([]uint64)) entropy.Profile {
+	p, err := entropy.ProfileStream(st, entropy.StreamOptions{
+		Window: window, Bits: bits, Transform: f, BatchTransform: bf,
+		Workers: runtime.GOMAXPROCS(0),
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: profiling stream: %v", err))
+	}
+	return p
+}
+
 // profileApp computes a workload's entropy profile on coalesced
-// transactions, optionally through a mapper.
+// transactions, optionally through a mapper, streaming the trace
+// instead of copying it (bit-identical to the old CoalesceApp +
+// AppProfile pipeline).
 func profileApp(app *trace.App, opt Options, f entropy.Transform) entropy.Profile {
-	co := trace.CoalesceApp(app, opt.LineBytes)
-	return entropy.AppProfile(co, opt.Window, opt.Bits, f)
+	st := trace.CoalesceStream(trace.AppSource(app).Stream(), opt.LineBytes)
+	return streamProfile(st, opt.Window, opt.Bits, f, nil)
+}
+
+// profileSource profiles straight from a workload generator: generate →
+// coalesce → profile at O(TB) memory, never materializing the trace.
+func profileSource(src trace.Source, opt Options) entropy.Profile {
+	st := trace.CoalesceStream(src.Stream(), opt.LineBytes)
+	return streamProfile(st, opt.Window, opt.Bits, nil, nil)
 }
 
 // Figure3 reproduces the worked window-entropy example: 8 TBs with BVR
@@ -76,7 +103,7 @@ func Figure5(opt Options) map[string]entropy.Profile {
 	opt = opt.withDefaults()
 	out := make(map[string]entropy.Profile, 18)
 	for _, spec := range workload.All() {
-		out[spec.Abbr] = profileApp(spec.Build(opt.Scale), opt, nil)
+		out[spec.Abbr] = profileSource(spec.Source(opt.Scale), opt)
 	}
 	return out
 }
@@ -92,7 +119,10 @@ func Figure10(opt Options) map[mapping.Scheme]entropy.Profile {
 	out := make(map[mapping.Scheme]entropy.Profile, 6)
 	for _, s := range mapping.Schemes() {
 		m := mapping.MustNew(s, l, mapping.Options{Seed: opt.Seed})
-		out[s] = profileApp(app, opt, m.Map)
+		// Build once, stream each candidate's profile with the batched
+		// BIM transform hook (coalescing precedes the mapper).
+		st := trace.CoalesceStream(trace.AppSource(app).Stream(), opt.LineBytes)
+		out[s] = streamProfile(st, opt.Window, opt.Bits, nil, m.MapBatch)
 	}
 	return out
 }

@@ -68,6 +68,11 @@ func (m Mapper) Matrix() bim.Matrix { return m.matrix }
 // scheme in this package.
 func (m Mapper) Map(addr uint64) uint64 { return m.matrix.Apply(addr) }
 
+// MapBatch transforms a batch of addresses in place (bim.ApplyBatch):
+// the streaming profiler's batch transform hook, equivalent to calling
+// Map on each element but without the per-address call overhead.
+func (m Mapper) MapBatch(addrs []uint64) { m.matrix.ApplyBatch(addrs) }
+
 // GateCost reports the XOR-tree cost of the mapper's hardware (Figure 7).
 func (m Mapper) GateCost() (gates, depth int) { return m.matrix.GateCost() }
 

@@ -242,3 +242,21 @@ func TestString(t *testing.T) {
 		t.Errorf("String() = %q", s)
 	}
 }
+
+func TestMapBatchMatchesMap(t *testing.T) {
+	for _, sc := range Schemes() {
+		m := MustNew(sc, hynix(), Options{Seed: 2})
+		addrs := make([]uint64, 513)
+		want := make([]uint64, len(addrs))
+		for i := range addrs {
+			addrs[i] = uint64(i*2654435761) & (1<<30 - 1)
+			want[i] = m.Map(addrs[i])
+		}
+		m.MapBatch(addrs)
+		for i := range addrs {
+			if addrs[i] != want[i] {
+				t.Fatalf("%s: MapBatch[%d] = %#x, Map = %#x", sc, i, addrs[i], want[i])
+			}
+		}
+	}
+}

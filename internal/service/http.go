@@ -10,8 +10,6 @@ import (
 	"strconv"
 	"strings"
 	"time"
-
-	"valleymap/internal/trace"
 )
 
 // Handler returns the valleyd HTTP API:
@@ -112,11 +110,22 @@ func (e overloadedBody) Error() string {
 }
 
 // jsonBodyLimit is the cap for plain JSON control requests; endpoints
-// that embed traces (profile, advise) get MaxTraceBytes of headroom on
-// top so trace_csv payloads are bounded by the same knob as CSV uploads.
+// that embed traces (profile, advise) get trace headroom on top.
 const jsonBodyLimit = 1 << 20
 
-func (s *Service) traceBodyLimit() int64 { return s.cfg.MaxTraceBytes + jsonBodyLimit }
+// maxJSONTraceBytes caps JSON-embedded traces. Unlike text/csv bodies,
+// a trace_csv string is fully materialized in memory before profiling,
+// so it keeps the old 64 MiB bound even when MaxTraceBytes is raised
+// for the streaming upload path; a smaller configured cap still wins.
+const maxJSONTraceBytes = 64 << 20
+
+func (s *Service) traceBodyLimit() int64 {
+	limit := s.cfg.MaxTraceBytes
+	if limit > maxJSONTraceBytes {
+		limit = maxJSONTraceBytes
+	}
+	return limit + jsonBodyLimit
+}
 
 // profileEnvelope wraps a ProfileResult with its cache outcome.
 type profileEnvelope struct {
@@ -137,8 +146,10 @@ func (s *Service) handleProfile(w http.ResponseWriter, r *http.Request) {
 	)
 	switch strings.TrimSpace(ct) {
 	case "text/csv", "text/plain":
-		// Streaming upload: decode + hash the body in one pass. Analysis
-		// options ride in query parameters.
+		// Streaming upload: the body flows through decoder → coalescer →
+		// accumulator in one pass, hashed incrementally, so memory stays
+		// O(window × bits) however long the trace is. Analysis options
+		// ride in query parameters.
 		var req ProfileRequest
 		if err := profileQueryOptions(r, &req); err != nil {
 			writeError(w, err)
@@ -150,15 +161,18 @@ func (s *Service) handleProfile(w http.ResponseWriter, r *http.Request) {
 		// n > cap means the body was oversize and truncated, while a
 		// malformed trace of exactly cap bytes still reports 400.
 		cr := &countingReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxTraceBytes+1)}
-		app, sum, derr := trace.ReadCSVHashed(cr)
-		if derr != nil {
+		res, hit, err = s.ProfileStream(cr, req)
+		if err != nil {
 			var mbe *http.MaxBytesError
-			if errors.As(derr, &mbe) || cr.n > s.cfg.MaxTraceBytes {
+			if errors.As(err, &mbe) || cr.n > s.cfg.MaxTraceBytes {
 				writeJSON(w, http.StatusRequestEntityTooLarge,
 					apiError{Error: fmt.Sprintf("trace exceeds %d byte limit", s.cfg.MaxTraceBytes)})
 				return
 			}
-			writeError(w, badRequestf("bad trace: %v", derr))
+			if !errors.As(err, new(badRequestError)) {
+				err = badRequestf("bad trace: %v", err)
+			}
+			writeError(w, err)
 			return
 		}
 		// The reader's one-byte allowance is diagnostic only; a body
@@ -168,7 +182,6 @@ func (s *Service) handleProfile(w http.ResponseWriter, r *http.Request) {
 				apiError{Error: fmt.Sprintf("trace exceeds %d byte limit", s.cfg.MaxTraceBytes)})
 			return
 		}
-		res, hit, err = s.ProfileTrace(app, sum, req)
 	default:
 		var req ProfileRequest
 		if err := decodeJSON(r, &req, s.traceBodyLimit()); err != nil {

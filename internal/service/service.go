@@ -8,8 +8,11 @@
 package service
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"math/bits"
 	"runtime"
 	"sort"
@@ -56,7 +59,11 @@ type Config struct {
 	QueueDepth int
 	// CacheEntries bounds the profile LRU cache (0 = 512).
 	CacheEntries int
-	// MaxTraceBytes caps uploaded trace bodies (0 = 64 MiB).
+	// MaxTraceBytes caps uploaded trace bodies (0 = 256 MiB). The cap
+	// protects bandwidth, not memory: uploads stream through the
+	// decoder → coalescer → accumulator pipeline at O(window × bits)
+	// per request, so it is safe to raise far beyond the old 64 MiB
+	// materialized-decoder default.
 	MaxTraceBytes int64
 	// MaxJobs bounds retained jobs; finished jobs beyond the cap are
 	// evicted oldest-first (0 = 1000).
@@ -74,7 +81,7 @@ func (c Config) withDefaults() Config {
 		c.CacheEntries = 512
 	}
 	if c.MaxTraceBytes == 0 {
-		c.MaxTraceBytes = 64 << 20
+		c.MaxTraceBytes = 256 << 20
 	}
 	if c.MaxJobs == 0 {
 		c.MaxJobs = 1000
@@ -94,7 +101,12 @@ type Service struct {
 	// entropy analysis run on handler goroutines, not the sweep pool);
 	// without it, N distinct-key requests materialize N traces at once.
 	profileSem chan struct{}
-	start      time.Time
+	// streamSem separately bounds streamed-upload pipelines: they hold
+	// only O(window × bits) so they get more slots than profileSem, but
+	// they read the client's body mid-compute, so they must not occupy
+	// profileSem's scarce slots for a transfer's duration.
+	streamSem chan struct{}
+	start     time.Time
 }
 
 // New builds a service with its worker pool running.
@@ -108,6 +120,7 @@ func New(cfg Config) *Service {
 		jobs:       newJobStore(cfg.MaxJobs),
 		pool:       newPool(cfg.Workers, cfg.QueueDepth, m),
 		profileSem: make(chan struct{}, cfg.Workers),
+		streamSem:  make(chan struct{}, 4*cfg.Workers),
 		start:      time.Now(),
 	}
 }
@@ -281,20 +294,75 @@ func (s *Service) Profile(req ProfileRequest) (*ProfileResult, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
-		return s.workloadProfile(spec, scaleName, opt, func() *trace.App { return spec.Build(scale) })
+		return s.workloadProfile(spec, scaleName, opt, func() trace.Source { return spec.Source(scale) })
 	case req.TraceCSV != "":
-		app, sum, err := trace.ReadCSVHashed(strings.NewReader(req.TraceCSV))
-		if err != nil {
+		// The embedded trace is already in memory, so — unlike the
+		// network streaming path — its content hash is cheap to take up
+		// front: repeat uploads hit the cache without re-profiling, and
+		// misses stream the string through the one-pass pipeline under
+		// the cache's in-flight coalescing.
+		h := sha256.New()
+		io.WriteString(h, req.TraceCSV) //nolint:errcheck // hash writes cannot fail
+		sum := hex.EncodeToString(h.Sum(nil))
+		res, hit, err := s.cachedProfile(opt.cacheKey("tr:"+sum), opt, func() (trace.Source, TraceInfo, error) {
+			// Unhashed: the identity was just taken above; a second
+			// tee through SHA-256 would be pure waste.
+			cs := trace.NewCSVStreamUnhashed(strings.NewReader(req.TraceCSV))
+			info := cs.Info()
+			return cs, TraceInfo{Name: info.Name, Abbr: info.Abbr, SHA256: sum}, nil
+		})
+		if err != nil && !errors.As(err, new(badRequestError)) {
 			return nil, false, badRequestf("bad trace: %v", err)
 		}
-		return s.profileUpload(app, sum, opt)
+		return res, hit, err
 	default:
 		return nil, false, badRequestf("request needs a workload abbreviation or a trace")
 	}
 }
 
-// ProfileTrace profiles an already-decoded uploaded trace (the text/csv
-// body path of POST /v1/profile).
+// ProfileStream profiles a CSV trace read from r in one pass: the body
+// streams through decoder → coalescer → accumulator, so per-request
+// memory is O(window × bits) plus one decode batch, independent of
+// trace length, and the content hash accumulates incrementally as bytes
+// are consumed. Decode errors are returned unwrapped so HTTP handlers
+// can classify size-limit errors; the cache is keyed by the incremental
+// hash, exactly like the materialized upload path, so identical uploads
+// still share one stored profile (the second return reports a hit).
+func (s *Service) ProfileStream(r io.Reader, req ProfileRequest) (*ProfileResult, bool, error) {
+	opt, err := req.options()
+	if err != nil {
+		return nil, false, err
+	}
+	// Uploads take streamSem, not profileSem: a streamed pipeline holds
+	// only O(window × bits) but reads the client's body mid-compute, so
+	// under profileSem a few slow transfers would starve every other
+	// profile computation; unbounded, a burst of uploads would
+	// oversubscribe the CPU. streamSem (4 × Workers slots) bounds the
+	// burst while leaving profileSem's slots to the O(trace) builders.
+	s.streamSem <- struct{}{}
+	defer func() { <-s.streamSem }()
+	cs := trace.NewCSVStream(r)
+	prof, kernels, err := s.profilePipeline(cs, opt)
+	if err != nil {
+		return nil, false, err
+	}
+	sum := cs.SHA256()
+	info := cs.Info()
+	key := opt.cacheKey("tr:" + sum)
+	res := assembleResult(prof, TraceInfo{Name: info.Name, Abbr: info.Abbr, SHA256: sum, Kernels: kernels}, opt, key)
+	// The profile had to be computed before the content hash was known
+	// (the hash needs the whole body, the body is consumed exactly
+	// once), so on this path a cache "hit" — in the response and in the
+	// /metrics hit rate — means the stored entry was reused, not that
+	// the compute was skipped: re-uploads dedupe storage, not work.
+	// Clients that want compute-free repeats should re-request by
+	// workload abbreviation or keep the returned profile.
+	return s.cache.GetOrCompute(key, func() (*ProfileResult, error) { return res, nil })
+}
+
+// ProfileTrace profiles an already-decoded trace under its content
+// hash, for embedders that hold a materialized *App (Advise reuses it
+// to profile one decode under many candidate mappings).
 func (s *Service) ProfileTrace(app *trace.App, sha string, req ProfileRequest) (*ProfileResult, bool, error) {
 	opt, err := req.options()
 	if err != nil {
@@ -306,48 +374,83 @@ func (s *Service) ProfileTrace(app *trace.App, sha string, req ProfileRequest) (
 // workloadProfile is the single owner of the built-in-workload cache-key
 // format, shared by Profile and Advise so their entries always collide
 // (advise reuses profiles /v1/profile already computed, and vice versa).
-func (s *Service) workloadProfile(spec workload.Spec, scaleName string, opt profileOptions, build func() *trace.App) (*ProfileResult, bool, error) {
+func (s *Service) workloadProfile(spec workload.Spec, scaleName string, opt profileOptions, source func() trace.Source) (*ProfileResult, bool, error) {
 	key := opt.cacheKey("wl:" + spec.Abbr + ":" + scaleName)
-	return s.cachedProfile(key, opt, func() (*trace.App, TraceInfo, error) {
-		return build(), TraceInfo{Name: spec.Name, Abbr: spec.Abbr, Scale: scaleName}, nil
+	return s.cachedProfile(key, opt, func() (trace.Source, TraceInfo, error) {
+		return source(), TraceInfo{Name: spec.Name, Abbr: spec.Abbr, Scale: scaleName}, nil
 	})
 }
 
 func (s *Service) profileUpload(app *trace.App, sha string, opt profileOptions) (*ProfileResult, bool, error) {
 	key := opt.cacheKey("tr:" + sha)
-	return s.cachedProfile(key, opt, func() (*trace.App, TraceInfo, error) {
-		return app, TraceInfo{Name: app.Name, Abbr: app.Abbr, SHA256: sha}, nil
+	return s.cachedProfile(key, opt, func() (trace.Source, TraceInfo, error) {
+		return trace.AppSource(app), TraceInfo{Name: app.Name, Abbr: app.Abbr, SHA256: sha}, nil
 	})
 }
 
-func (s *Service) cachedProfile(key string, opt profileOptions, build func() (*trace.App, TraceInfo, error)) (*ProfileResult, bool, error) {
+// cachedProfile computes a profile through the streaming pipeline under
+// the cache's in-flight coalescing, bounded by the profile semaphore.
+func (s *Service) cachedProfile(key string, opt profileOptions, build func() (trace.Source, TraceInfo, error)) (*ProfileResult, bool, error) {
 	return s.cache.GetOrCompute(key, func() (*ProfileResult, error) {
 		s.profileSem <- struct{}{}
 		defer func() { <-s.profileSem }()
-		app, info, err := build()
+		src, info, err := build()
 		if err != nil {
 			return nil, err
 		}
-		return computeProfile(app, info, opt, key)
+		prof, kernels, err := s.profilePipeline(src.Stream(), opt)
+		if err != nil {
+			return nil, err
+		}
+		info.Kernels = kernels
+		return assembleResult(prof, info, opt, key), nil
 	})
 }
 
-func computeProfile(app *trace.App, info TraceInfo, opt profileOptions, key string) (*ProfileResult, error) {
-	var f entropy.Transform
+// kernelCounter counts kernel headers as they flow by, so TraceInfo can
+// report the kernel count without materializing the trace. It is the
+// single counting point for every service profile path (the decoder and
+// accumulator deliberately do not keep their own counts).
+type kernelCounter struct {
+	s trace.Stream
+	n int
+}
+
+func (k *kernelCounter) Next() (*trace.Batch, error) {
+	b, err := k.s.Next()
+	if err == nil && b.Kernel != nil {
+		k.n++
+	}
+	return b, err
+}
+
+// profilePipeline drives one pass of the streaming hot path:
+// stream → (coalesce) → (map) → online windowed accumulator.
+func (s *Service) profilePipeline(st trace.Stream, opt profileOptions) (entropy.Profile, int, error) {
+	kc := &kernelCounter{s: st}
+	var in trace.Stream = kc
+	if opt.lineBytes > 0 {
+		in = trace.CoalesceStream(in, opt.lineBytes)
+	}
+	sopt := entropy.StreamOptions{Window: opt.window, Bits: opt.bits}
 	if opt.scheme != "" {
 		m, err := mapping.New(opt.scheme, layout.HynixGDDR5(), mapping.Options{Seed: opt.seed})
 		if err != nil {
-			return nil, badRequestf("building %s mapper: %v", opt.scheme, err)
+			return entropy.Profile{}, 0, badRequestf("building %s mapper: %v", opt.scheme, err)
 		}
-		f = m.Map
+		// The coalescer sees physical addresses (coalescing precedes the
+		// mapper in hardware); the accumulator applies the BIM a batch
+		// at a time.
+		sopt.BatchTransform = m.MapBatch
 	}
-	a := app
-	if opt.lineBytes > 0 {
-		a = trace.CoalesceApp(app, opt.lineBytes)
+	prof, err := entropy.ProfileStream(in, sopt)
+	if err != nil {
+		return entropy.Profile{}, 0, err
 	}
-	prof := entropy.AppProfile(a, opt.window, opt.bits, f)
+	return prof, kc.n, nil
+}
 
-	info.Kernels = len(app.Kernels)
+func assembleResult(prof entropy.Profile, info TraceInfo, opt profileOptions, key string) *ProfileResult {
 	info.Requests = prof.Requests
 	l := layout.HynixGDDR5()
 	// Bits below the block offset — and, when coalescing is on, below
@@ -399,7 +502,7 @@ func computeProfile(app *trace.App, info TraceInfo, opt profileOptions, key stri
 		}
 		res.ValleyRanges = append(res.ValleyRanges, BitRange{Lo: r.Lo, Hi: r.Hi})
 	}
-	return res, nil
+	return res
 }
 
 // ---------------------------------------------------------------------
@@ -499,20 +602,24 @@ func (s *Service) Advise(req AdviseRequest) (*AdviseResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Materialize the trace once (under the first candidate's
+		// semaphore slot) and stream the base + every candidate profile
+		// from the in-memory copy, instead of re-running the generator
+		// per scheme × seed pair on a cold cache.
 		var (
 			once sync.Once
 			app  *trace.App
 		)
-		buildApp := func() *trace.App {
+		source := func() trace.Source {
 			once.Do(func() { app = spec.Build(scale) })
-			return app
+			return trace.AppSource(app)
 		}
 		profile = func(r ProfileRequest) (*ProfileResult, bool, error) {
 			opt, err := r.options()
 			if err != nil {
 				return nil, false, err
 			}
-			return s.workloadProfile(spec, scaleName, opt, buildApp)
+			return s.workloadProfile(spec, scaleName, opt, source)
 		}
 	}
 

@@ -1,0 +1,308 @@
+package trace
+
+// Streaming CSV trace decoder. CSVStream parses the package CSV format
+// (see io.go) one line at a time and yields request batches without ever
+// holding more than one batch in memory, feeding every consumed byte
+// through an incremental SHA-256 so network services get a
+// content-addressed cache key for free at end of stream. ReadCSV and
+// ReadCSVHashed are thin adapters that drain a CSVStream into an *App,
+// so the materialized and streaming decoders accept and reject inputs
+// identically by construction.
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+	"math"
+)
+
+// CSVStream is a single-shot streaming decoder of the package CSV trace
+// format. It implements both Stream and Source (Stream returns the
+// decoder itself; a CSVStream cannot be rewound).
+type CSVStream struct {
+	sc   *bufio.Scanner
+	h    hash.Hash
+	line int
+	err  error // sticky terminal state: io.EOF or a decode error
+
+	kernelIndex int // current kernel ordinal, -1 before the first K record
+	kernels     int
+	haveTB      bool
+	curTB       int
+
+	pendingHdr  *KernelInfo // K record waiting behind a flushed batch
+	pendingReq  Request     // first request of the next TB, ditto
+	pendingTB   int
+	havePending bool
+
+	hdr   KernelInfo
+	batch Batch
+	reqs  []Request
+}
+
+// NewCSVStream starts decoding the CSV trace on r. Decoding is lazy:
+// bytes are consumed as batches are pulled.
+func NewCSVStream(r io.Reader) *CSVStream {
+	h := sha256.New()
+	cs := newCSVStream(io.TeeReader(r, h))
+	cs.h = h
+	return cs
+}
+
+// NewCSVStreamUnhashed decodes without the SHA-256 tee, for callers
+// that already know the content's identity (SHA256 returns the empty
+// hash's digest in that case).
+func NewCSVStreamUnhashed(r io.Reader) *CSVStream { return newCSVStream(r) }
+
+func newCSVStream(r io.Reader) *CSVStream {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	return &CSVStream{sc: sc, kernelIndex: -1, reqs: make([]Request, 0, maxBatchRequests)}
+}
+
+// Info returns the metadata of an imported trace, mirroring the
+// defaults ReadCSV applies (name/weight are not part of the format).
+func (s *CSVStream) Info() SourceInfo {
+	return SourceInfo{Name: "imported", Abbr: "IMP", InsnPerAccess: 1}
+}
+
+// Stream returns the decoder itself; a CSVStream is single-shot.
+func (s *CSVStream) Stream() Stream { return s }
+
+// SHA256 returns the hex digest of every byte consumed from the reader.
+// It is the content-addressed identity of the trace once Next has
+// returned io.EOF; calling it earlier hashes only the prefix read so
+// far, and on an unhashed stream it is the digest of no bytes.
+func (s *CSVStream) SHA256() string {
+	if s.h == nil {
+		return hex.EncodeToString(sha256.New().Sum(nil))
+	}
+	return hex.EncodeToString(s.h.Sum(nil))
+}
+
+func (s *CSVStream) failf(format string, args ...any) (*Batch, error) {
+	s.err = fmt.Errorf(format, args...)
+	return nil, s.err
+}
+
+// flush emits the buffered requests as one batch.
+func (s *CSVStream) flush(tbStart bool) *Batch {
+	s.batch = Batch{KernelIndex: s.kernelIndex, TBID: s.curTB, TBStart: tbStart, Requests: s.reqs}
+	return &s.batch
+}
+
+// emitHeader opens a new kernel and returns its header batch.
+func (s *CSVStream) emitHeader(hdr KernelInfo) *Batch {
+	s.kernelIndex++
+	s.kernels++
+	s.haveTB = false
+	s.hdr = hdr
+	s.batch = Batch{Kernel: &s.hdr, KernelIndex: s.kernelIndex, TBID: -1}
+	return &s.batch
+}
+
+// Next decodes up to one batch of requests (or one kernel header).
+func (s *CSVStream) Next() (*Batch, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.pendingHdr != nil {
+		hdr := *s.pendingHdr
+		s.pendingHdr = nil
+		return s.emitHeader(hdr), nil
+	}
+	s.reqs = s.reqs[:0]
+	tbStart := false
+	if s.havePending {
+		s.havePending = false
+		s.curTB = s.pendingTB
+		s.haveTB = true
+		tbStart = true
+		s.reqs = append(s.reqs, s.pendingReq)
+	}
+	var fields [8][]byte
+	for {
+		if !s.sc.Scan() {
+			if err := s.sc.Err(); err != nil {
+				s.err = err
+				return nil, err
+			}
+			if s.kernels == 0 {
+				return s.failf("trace csv: no kernels")
+			}
+			s.err = io.EOF
+			if len(s.reqs) > 0 {
+				return s.flush(tbStart), nil
+			}
+			return nil, io.EOF
+		}
+		s.line++
+		text := bytes.TrimSpace(s.sc.Bytes())
+		if len(text) == 0 || text[0] == '#' {
+			continue
+		}
+		nf := splitComma(text, fields[:])
+		switch {
+		case nf >= 1 && len(fields[0]) == 1 && fields[0][0] == 'K':
+			if nf != 4 {
+				return s.failf("trace csv line %d: K record needs 4 fields", s.line)
+			}
+			warps, ok := atoiBytes(fields[2])
+			if !ok || warps <= 0 {
+				return s.failf("trace csv line %d: bad warp count %q", s.line, fields[2])
+			}
+			gap, ok := atoiBytes(fields[3])
+			if !ok || gap < 0 {
+				return s.failf("trace csv line %d: bad gap %q", s.line, fields[3])
+			}
+			hdr := KernelInfo{Name: string(fields[1]), WarpsPerTB: warps, ComputeGapCycles: gap}
+			if len(s.reqs) > 0 {
+				s.pendingHdr = &hdr
+				return s.flush(tbStart), nil
+			}
+			return s.emitHeader(hdr), nil
+		case nf >= 1 && len(fields[0]) == 1 && fields[0][0] == 'R':
+			if s.kernelIndex < 0 {
+				return s.failf("trace csv line %d: R record before any K record", s.line)
+			}
+			if nf != 5 {
+				return s.failf("trace csv line %d: R record needs 5 fields", s.line)
+			}
+			tbID, ok := atoiBytes(fields[1])
+			if !ok {
+				return s.failf("trace csv line %d: bad tb id %q", s.line, fields[1])
+			}
+			warp, ok := atoiBytes(fields[2])
+			if !ok || warp < 0 {
+				return s.failf("trace csv line %d: bad warp %q", s.line, fields[2])
+			}
+			var kind Kind
+			switch {
+			case len(fields[3]) == 1 && fields[3][0] == 'R':
+				kind = Read
+			case len(fields[3]) == 1 && fields[3][0] == 'W':
+				kind = Write
+			default:
+				return s.failf("trace csv line %d: bad kind %q", s.line, fields[3])
+			}
+			addr, ok := hexBytes(fields[4])
+			if !ok {
+				return s.failf("trace csv line %d: bad address %q", s.line, fields[4])
+			}
+			req := Request{Addr: addr, Kind: kind, Warp: int32(warp)}
+			if !s.haveTB || tbID != s.curTB {
+				if s.haveTB && tbID <= s.curTB {
+					return s.failf("trace csv line %d: TB ids must ascend within a kernel", s.line)
+				}
+				if len(s.reqs) > 0 {
+					s.havePending = true
+					s.pendingReq = req
+					s.pendingTB = tbID
+					return s.flush(tbStart), nil
+				}
+				s.curTB = tbID
+				s.haveTB = true
+				tbStart = true
+			}
+			s.reqs = append(s.reqs, req)
+			if len(s.reqs) >= maxBatchRequests {
+				return s.flush(tbStart), nil
+			}
+		default:
+			return s.failf("trace csv line %d: unknown record type %q", s.line, fields[0])
+		}
+	}
+}
+
+// splitComma splits text on commas into dst without allocating; it
+// returns the field count, capping at len(dst) (beyond-cap fields only
+// matter for "needs N fields" errors, which trip on nf != N anyway).
+func splitComma(text []byte, dst [][]byte) int {
+	n := 0
+	for n < len(dst) {
+		i := bytes.IndexByte(text, ',')
+		if i < 0 {
+			dst[n] = text
+			n++
+			return n
+		}
+		dst[n] = text[:i]
+		n++
+		text = text[i+1:]
+	}
+	return n
+}
+
+// atoiBytes parses a signed decimal integer (optional +/- sign) with
+// strconv.Atoi's 64-bit accept set: magnitudes above MaxInt64 are
+// rejected like Atoi's range errors, never silently wrapped. (The lone
+// divergence is MinInt64 itself, which is rejected; no real trace
+// carries it.)
+func atoiBytes(b []byte) (int, bool) {
+	i := 0
+	neg := false
+	if len(b) > 0 && (b[0] == '+' || b[0] == '-') {
+		neg = b[0] == '-'
+		i = 1
+	}
+	if i == len(b) {
+		return 0, false
+	}
+	// n stays in [0, MaxInt64]: refuse the multiply when it could
+	// exceed MaxInt64, and catch the +d wrap via the sign bit.
+	const cutoff = math.MaxInt64/10 + 1
+	var n int64
+	for ; i < len(b); i++ {
+		d := b[i] - '0'
+		if d > 9 {
+			return 0, false
+		}
+		if n >= cutoff {
+			return 0, false
+		}
+		n = n*10 + int64(d)
+		if n < 0 {
+			return 0, false
+		}
+	}
+	if neg {
+		n = -n
+	}
+	// Reject values that do not survive the int conversion (32-bit
+	// platforms), mirroring Atoi's platform-width range errors.
+	if int64(int(n)) != n {
+		return 0, false
+	}
+	return int(n), true
+}
+
+// hexBytes parses an unsigned hexadecimal integer with exactly
+// strconv.ParseUint(s, 16, 64)'s accept set (no sign, no 0x prefix).
+func hexBytes(b []byte) (uint64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	var v uint64
+	for _, c := range b {
+		var d uint64
+		switch {
+		case '0' <= c && c <= '9':
+			d = uint64(c - '0')
+		case 'a' <= c && c <= 'f':
+			d = uint64(c-'a') + 10
+		case 'A' <= c && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, false
+		}
+		if v>>60 != 0 {
+			return 0, false // next shift would overflow 64 bits
+		}
+		v = v<<4 | d
+	}
+	return v, true
+}

@@ -15,12 +15,8 @@ package trace
 
 import (
 	"bufio"
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
 )
 
 // WriteCSV streams the application trace in the package CSV format.
@@ -47,94 +43,24 @@ func WriteCSV(w io.Writer, a *App) error {
 // digest as a content-addressed cache key for uploaded traces without
 // buffering the body a second time.
 func ReadCSVHashed(r io.Reader) (*App, string, error) {
-	h := sha256.New()
-	app, err := ReadCSV(io.TeeReader(r, h))
+	cs := NewCSVStream(r)
+	app, err := CollectStream(cs, cs.Info())
 	if err != nil {
 		return nil, "", err
 	}
-	return app, hex.EncodeToString(h.Sum(nil)), nil
+	return app, cs.SHA256(), nil
 }
 
 // ReadCSV parses a trace written by WriteCSV (or hand-assembled in the
 // same format). Metadata lost by the format (name, instruction weight)
 // can be set on the returned App afterwards; InsnPerAccess defaults to 1.
+//
+// ReadCSV is a draining adapter over the streaming decoder (CSVStream),
+// so the materialized and streaming paths accept and reject inputs
+// identically; it exists for callers that need random access to the
+// trace. One-pass consumers (profiling, coalescing) should keep the
+// stream instead and stay at O(batch) memory.
 func ReadCSV(r io.Reader) (*App, error) {
-	app := &App{Name: "imported", Abbr: "IMP", InsnPerAccess: 1}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	var cur *Kernel
-	var curTB *TB
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		fields := strings.Split(text, ",")
-		switch fields[0] {
-		case "K":
-			if len(fields) != 4 {
-				return nil, fmt.Errorf("trace csv line %d: K record needs 4 fields", line)
-			}
-			warps, err := strconv.Atoi(fields[2])
-			if err != nil || warps <= 0 {
-				return nil, fmt.Errorf("trace csv line %d: bad warp count %q", line, fields[2])
-			}
-			gap, err := strconv.Atoi(fields[3])
-			if err != nil || gap < 0 {
-				return nil, fmt.Errorf("trace csv line %d: bad gap %q", line, fields[3])
-			}
-			app.Kernels = append(app.Kernels, Kernel{
-				Name: fields[1], WarpsPerTB: warps, ComputeGapCycles: gap,
-			})
-			cur = &app.Kernels[len(app.Kernels)-1]
-			curTB = nil
-		case "R":
-			if cur == nil {
-				return nil, fmt.Errorf("trace csv line %d: R record before any K record", line)
-			}
-			if len(fields) != 5 {
-				return nil, fmt.Errorf("trace csv line %d: R record needs 5 fields", line)
-			}
-			tbID, err := strconv.Atoi(fields[1])
-			if err != nil {
-				return nil, fmt.Errorf("trace csv line %d: bad tb id %q", line, fields[1])
-			}
-			warp, err := strconv.Atoi(fields[2])
-			if err != nil || warp < 0 {
-				return nil, fmt.Errorf("trace csv line %d: bad warp %q", line, fields[2])
-			}
-			var kind Kind
-			switch fields[3] {
-			case "R":
-				kind = Read
-			case "W":
-				kind = Write
-			default:
-				return nil, fmt.Errorf("trace csv line %d: bad kind %q", line, fields[3])
-			}
-			addr, err := strconv.ParseUint(fields[4], 16, 64)
-			if err != nil {
-				return nil, fmt.Errorf("trace csv line %d: bad address %q", line, fields[4])
-			}
-			if curTB == nil || curTB.ID != tbID {
-				if curTB != nil && tbID <= curTB.ID {
-					return nil, fmt.Errorf("trace csv line %d: TB ids must ascend within a kernel", line)
-				}
-				cur.TBs = append(cur.TBs, TB{ID: tbID})
-				curTB = &cur.TBs[len(cur.TBs)-1]
-			}
-			curTB.Requests = append(curTB.Requests, Request{Addr: addr, Kind: kind, Warp: int32(warp)})
-		default:
-			return nil, fmt.Errorf("trace csv line %d: unknown record type %q", line, fields[0])
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if len(app.Kernels) == 0 {
-		return nil, fmt.Errorf("trace csv: no kernels")
-	}
-	return app, nil
+	cs := NewCSVStream(r)
+	return CollectStream(cs, cs.Info())
 }

@@ -13,8 +13,11 @@
 // Hynix map, and the six non-valley benchmarks (FWT NN SPMV LM MUM BFS)
 // concentrate entropy in the low-order bits or spread it everywhere.
 //
-// Generators emit per-thread requests; analysis and simulation coalesce
-// them into 128 B transactions (trace.CoalesceApp). Thread counts are
+// Generators emit per-thread requests into a trace.Source, one TB at a
+// time (Spec.Source); Spec.Build drains that stream into a materialized
+// *trace.App for consumers that need random access. Analysis and
+// simulation coalesce requests into 128 B transactions
+// (trace.CoalesceStream / trace.CoalesceApp). Thread counts are
 // deliberately "ragged" per TB — real kernels have boundary tiles and
 // predicated-off threads — which is what gives intra-TB-varying bits
 // distinct BVR values across TBs (Section III's intra-TB entropy).
@@ -22,6 +25,7 @@ package workload
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 
 	"valleymap/internal/trace"
@@ -94,7 +98,88 @@ type Spec struct {
 	PaperAPKI, PaperMPKI float64
 	// PaperKernels is Table II's kernel-launch count at full app size.
 	PaperKernels int
-	Build        func(Scale) *trace.App
+	// Source streams the trace TB by TB: the generator's native form.
+	// Every Stream call re-runs the (deterministic) emitters, so a
+	// Source pass holds one TB in memory at a time, not the trace.
+	Source func(Scale) trace.Source
+	// Build materializes the whole trace — a thin adapter draining
+	// Source, kept for consumers that need random access (the
+	// simulator); one-pass consumers (profiling) should stream.
+	Build func(Scale) *trace.App
+}
+
+// appGen is the lazy form of a workload trace: kernel descriptors whose
+// per-TB emitters run on demand. Builders construct appGens; Spec.Source
+// streams them and Spec.Build drains that stream into an *App.
+type appGen struct {
+	Name          string
+	Abbr          string
+	Valley        bool
+	InsnPerAccess float64
+	Kernels       []kernelGen
+}
+
+// kernelGen describes one kernel launch without running its emitters.
+type kernelGen struct {
+	name         string
+	numTBs       int
+	threadsPerTB int
+	gapCycles    int
+	emit         func(e *reqEmitter, tb int)
+}
+
+func (k *kernelGen) info() trace.KernelInfo {
+	return trace.KernelInfo{
+		Name:             k.name,
+		WarpsPerTB:       (k.threadsPerTB + 31) / 32,
+		ComputeGapCycles: k.gapCycles,
+	}
+}
+
+func (g *appGen) source() trace.Source { return genSource{g: g} }
+
+type genSource struct{ g *appGen }
+
+func (s genSource) Info() trace.SourceInfo {
+	return trace.SourceInfo{Name: s.g.Name, Abbr: s.g.Abbr, Valley: s.g.Valley, InsnPerAccess: s.g.InsnPerAccess}
+}
+
+func (s genSource) Stream() trace.Stream { return &genStream{g: s.g} }
+
+// genStream emits one kernel header batch per kernel and one batch per
+// TB, regenerating requests into a reused buffer — O(TB) memory per
+// pass regardless of trace size.
+type genStream struct {
+	g       *appGen
+	ki, tb  int
+	started bool
+	hdr     trace.KernelInfo
+	batch   trace.Batch
+	em      reqEmitter
+}
+
+func (s *genStream) Next() (*trace.Batch, error) {
+	for s.ki < len(s.g.Kernels) {
+		kg := &s.g.Kernels[s.ki]
+		if !s.started {
+			s.started = true
+			s.hdr = kg.info()
+			s.batch = trace.Batch{Kernel: &s.hdr, KernelIndex: s.ki, TBID: -1}
+			return &s.batch, nil
+		}
+		if s.tb >= kg.numTBs {
+			s.ki++
+			s.tb = 0
+			s.started = false
+			continue
+		}
+		s.em.reqs = s.em.reqs[:0]
+		kg.emit(&s.em, s.tb)
+		s.batch = trace.Batch{KernelIndex: s.ki, TBID: s.tb, TBStart: true, Requests: s.em.reqs}
+		s.tb++
+		return &s.batch, nil
+	}
+	return nil, io.EOF
 }
 
 // reqEmitter collects requests for one TB.
@@ -166,16 +251,11 @@ func gatherTB(e *reqEmitter, rng *rand.Rand, base uint64, region int64, threads,
 	}
 }
 
-// kernel assembles a trace.Kernel from a per-TB emitter function.
-func kernel(name string, numTBs, threadsPerTB, gapCycles int, emit func(e *reqEmitter, tb int)) trace.Kernel {
-	warps := (threadsPerTB + 31) / 32
-	k := trace.Kernel{Name: name, WarpsPerTB: warps, ComputeGapCycles: gapCycles}
-	for tb := 0; tb < numTBs; tb++ {
-		var e reqEmitter
-		emit(&e, tb)
-		k.TBs = append(k.TBs, trace.TB{ID: tb, Requests: e.reqs})
-	}
-	return k
+// kernel wraps a per-TB emitter function as a lazy kernel descriptor;
+// its requests are only generated when a Source pass (or a Build drain)
+// reaches the kernel.
+func kernel(name string, numTBs, threadsPerTB, gapCycles int, emit func(e *reqEmitter, tb int)) kernelGen {
+	return kernelGen{name: name, numTBs: numTBs, threadsPerTB: threadsPerTB, gapCycles: gapCycles, emit: emit}
 }
 
 // Base addresses place each array in a distinct 16 MB arena so that row
@@ -192,9 +272,9 @@ func arena(i int) uint64 { return uint64(i) << 24 }
 // controlled only by the slowly-drifting column index — the classic
 // entropy valley over the channel (8–9) and bank (10–13) bits
 // (Figures 5a, 10).
-func buildMT(s Scale) *trace.App {
+func buildMT(s Scale) *appGen {
 	const rowBytes = 16384 // 4096 floats per matrix row
-	app := &trace.App{Name: "Transpose", Abbr: "MT", Valley: true, InsnPerAccess: 26}
+	app := &appGen{Name: "Transpose", Abbr: "MT", Valley: true, InsnPerAccess: 26}
 	app.Kernels = append(app.Kernels,
 		kernel("read_rowmajor", s.tbs(48), 128, 220, func(e *reqEmitter, tb int) {
 			stridedTB(e, arena(1), tb, 128*4, 4, 0, 128, 1, trace.Read)
@@ -217,10 +297,10 @@ func buildMT(s Scale) *trace.App {
 // rows). Thread-level stride is one row (bits 13+), the column index
 // drifts 4 B per TB, so bits 8–12 form a deep valley that moves with the
 // diagonal as the factorization proceeds.
-func buildLU(s Scale) *trace.App {
+func buildLU(s Scale) *appGen {
 	const rowBytes = 8192
 	threads := 128
-	app := &trace.App{Name: "LU Decomposition", Abbr: "LU", Valley: true, InsnPerAccess: 22}
+	app := &appGen{Name: "LU Decomposition", Abbr: "LU", Valley: true, InsnPerAccess: 22}
 	nk := s.kernels(16)
 	for j := 0; j < nk; j++ {
 		j := j
@@ -241,10 +321,10 @@ func buildLU(s Scale) *trace.App {
 // heavy reuse across the many Fan1/Fan2 kernel launches, which is why
 // Table II reports APKI 9.09 but MPKI 0.01. Thread stride is one 1 KB row
 // (bits 10+), so the valley covers only channel bits 8–9.
-func buildGS(s Scale) *trace.App {
+func buildGS(s Scale) *appGen {
 	const rowBytes = 1024
 	threads := 64
-	app := &trace.App{Name: "Gaussian", Abbr: "GS", Valley: true, InsnPerAccess: 30}
+	app := &appGen{Name: "Gaussian", Abbr: "GS", Valley: true, InsnPerAccess: 30}
 	nk := s.kernels(12)
 	for j := 0; j < nk; j++ {
 		app.Kernels = append(app.Kernels,
@@ -261,10 +341,10 @@ func buildGS(s Scale) *trace.App {
 // 1024×1024 score matrix. Threads step one row plus one element
 // (stride 4100 B), putting entropy at bits 2–7 and 12+, while the TB base
 // drifts 16 B per TB — bits 8–11 stay pinned (Figure 5d's deep valley).
-func buildNW(s Scale) *trace.App {
+func buildNW(s Scale) *appGen {
 	const diagStride = 4096 + 4
 	threads := 64
-	app := &trace.App{Name: "Needle", Abbr: "NW", Valley: true, InsnPerAccess: 40}
+	app := &appGen{Name: "Needle", Abbr: "NW", Valley: true, InsnPerAccess: 40}
 	nk := s.kernels(12)
 	for j := 0; j < nk; j++ {
 		j := j
@@ -283,11 +363,11 @@ func buildNW(s Scale) *trace.App {
 // bits 2–7) with y/z neighbor offsets at 1 KB and 256 KB; TBs advance four
 // rows (4 KB). Channel bits 8–9 never vary — the deep valley of
 // Figure 5e.
-func buildLPS(s Scale) *trace.App {
+func buildLPS(s Scale) *appGen {
 	const yStride = 1024      // 256 floats per x-row
 	const zStride = 256 << 10 // one plane
 	threads := 64
-	app := &trace.App{Name: "Laplace", Abbr: "LPS", Valley: true, InsnPerAccess: 55}
+	app := &appGen{Name: "Laplace", Abbr: "LPS", Valley: true, InsnPerAccess: 55}
 	emit := func(e *reqEmitter, tb int) {
 		base := arena(11) + 1<<21 + uint64(tb)*yStride*4
 		n := ragged(threads, tb)
@@ -311,9 +391,9 @@ func buildLPS(s Scale) *trace.App {
 // buildSC models Rodinia StreamCluster: structure-of-arrays point data.
 // Each TB owns an 8 KB chunk of points (bits 13+) and walks 6 dimension
 // planes 2 MB apart; threads cover 256 B. Bits 8–12 never vary.
-func buildSC(s Scale) *trace.App {
+func buildSC(s Scale) *appGen {
 	threads := 64
-	app := &trace.App{Name: "StreamCluster", Abbr: "SC", Valley: true, InsnPerAccess: 34}
+	app := &appGen{Name: "StreamCluster", Abbr: "SC", Valley: true, InsnPerAccess: 34}
 	nk := s.kernels(8)
 	for j := 0; j < nk; j++ {
 		app.Kernels = append(app.Kernels,
@@ -330,15 +410,15 @@ func buildSC(s Scale) *trace.App {
 // a 2048×2048 image (8 KB rows) followed by a row-per-TB update kernel,
 // twice. The standalone SRAD2K1 kernel (Figure 5h) is the gradient kernel
 // alone; its profile resembles the application's, as the paper notes.
-func buildSRAD2(s Scale) *trace.App {
-	app := &trace.App{Name: "Srad v2", Abbr: "SRAD2", Valley: true, InsnPerAccess: 48}
+func buildSRAD2(s Scale) *appGen {
+	app := &appGen{Name: "Srad v2", Abbr: "SRAD2", Valley: true, InsnPerAccess: 48}
 	for iter := 0; iter < 2; iter++ {
 		app.Kernels = append(app.Kernels, srad2GradientKernel(s, iter), srad2UpdateKernel(s, iter))
 	}
 	return app
 }
 
-func srad2GradientKernel(s Scale, iter int) trace.Kernel {
+func srad2GradientKernel(s Scale, iter int) kernelGen {
 	const rowBytes = 8192
 	threads := 128
 	return kernel(fmt.Sprintf("srad_grad%d", iter), s.tbs(64), threads, 280, func(e *reqEmitter, tb int) {
@@ -347,7 +427,7 @@ func srad2GradientKernel(s Scale, iter int) trace.Kernel {
 	})
 }
 
-func srad2UpdateKernel(s Scale, iter int) trace.Kernel {
+func srad2UpdateKernel(s Scale, iter int) kernelGen {
 	const rowBytes = 16384
 	threads := 128
 	return kernel(fmt.Sprintf("srad_update%d", iter), s.tbs(48), threads, 280, func(e *reqEmitter, tb int) {
@@ -357,10 +437,10 @@ func srad2UpdateKernel(s Scale, iter int) trace.Kernel {
 }
 
 // SRAD2K1 is the standalone gradient kernel of Figure 5h.
-func buildSRAD2K1(s Scale) *trace.App {
-	return &trace.App{
+func buildSRAD2K1(s Scale) *appGen {
+	return &appGen{
 		Name: "Srad v2 kernel 1", Abbr: "SRAD2K1", Valley: true, InsnPerAccess: 48,
-		Kernels: []trace.Kernel{srad2GradientKernel(s, 0)},
+		Kernels: []kernelGen{srad2GradientKernel(s, 0)},
 	}
 }
 
@@ -369,8 +449,8 @@ func buildSRAD2K1(s Scale) *trace.App {
 // rows subsampled 2:1, so the vertical stride doubles per level — 4 KB,
 // 8 KB, 16 KB, 32 KB — placing a different narrow valley per kernel and a
 // broader valley in the aggregate (Figures 5i/5j).
-func buildDWT2D(s Scale) *trace.App {
-	app := &trace.App{Name: "DWT2D", Abbr: "DWT2D", Valley: true, InsnPerAccess: 38}
+func buildDWT2D(s Scale) *appGen {
+	app := &appGen{Name: "DWT2D", Abbr: "DWT2D", Valley: true, InsnPerAccess: 38}
 	nk := s.kernels(10)
 	for j := 0; j < nk; j++ {
 		level := j / 2 % 4
@@ -389,7 +469,7 @@ func buildDWT2D(s Scale) *trace.App {
 	return app
 }
 
-func dwt2dVerticalKernel(s Scale, j, level int) trace.Kernel {
+func dwt2dVerticalKernel(s Scale, j, level int) kernelGen {
 	// Each wavelet level works on rows subsampled 2:1, doubling the
 	// effective row stride and widening the aggregate valley.
 	stride := int64(4096 << uint(level))
@@ -401,10 +481,10 @@ func dwt2dVerticalKernel(s Scale, j, level int) trace.Kernel {
 }
 
 // DWT2DK1 is the standalone level-0 vertical pass of Figure 5j.
-func buildDWT2DK1(s Scale) *trace.App {
-	return &trace.App{
+func buildDWT2DK1(s Scale) *appGen {
+	return &appGen{
 		Name: "DWT2D kernel 1", Abbr: "DWT2DK1", Valley: true, InsnPerAccess: 38,
-		Kernels: []trace.Kernel{dwt2dVerticalKernel(s, 0, 0)},
+		Kernels: []kernelGen{dwt2dVerticalKernel(s, 0, 0)},
 	}
 }
 
@@ -412,10 +492,10 @@ func buildDWT2DK1(s Scale) *trace.App {
 // (2 KB rows). Tiles advance down columns (32 KB per TB), so bits 8–10
 // and 12–14 are pinned by the slow tile-column index; the tiny 0.08 MPKI
 // comes from high L1/LLC reuse of the stencil neighbors.
-func buildHS(s Scale) *trace.App {
+func buildHS(s Scale) *appGen {
 	const rowBytes = 2048
 	threads := 64
-	app := &trace.App{Name: "Hotspot", Abbr: "HS", Valley: true, InsnPerAccess: 120}
+	app := &appGen{Name: "Hotspot", Abbr: "HS", Valley: true, InsnPerAccess: 120}
 	app.Kernels = append(app.Kernels,
 		kernel("hotspot", s.tbs(96), threads, 520, func(e *reqEmitter, tb int) {
 			// The 4096+256 margin keeps the -rowBytes/-4 neighbors from
@@ -439,9 +519,9 @@ func buildHS(s Scale) *trace.App {
 // slice of two vectors with a 32 KB grid-stride loop; thread bits cover
 // 2–6 and slice bits 16+, leaving bits 7–14 dead — a wide valley with
 // almost no locality (APKI ≈ MPKI in Table II).
-func buildSP(s Scale) *trace.App {
+func buildSP(s Scale) *appGen {
 	threads := 32
-	app := &trace.App{Name: "Scalar Product", Abbr: "SP", Valley: true, InsnPerAccess: 28}
+	app := &appGen{Name: "Scalar Product", Abbr: "SP", Valley: true, InsnPerAccess: 28}
 	app.Kernels = append(app.Kernels,
 		kernel("dotprod", s.tbs(112), threads, 180, func(e *reqEmitter, tb int) {
 			stridedTB(e, arena(26), tb, 64<<10, 4, 32<<10, threads, 2, trace.Read)
@@ -459,9 +539,9 @@ func buildSP(s Scale) *trace.App {
 // buildFWT models CUDA SDK Fast Walsh Transform: butterfly kernels whose
 // partner offset doubles per stage, on top of contiguous thread indexing.
 // Low address bits always carry the entropy: no valley.
-func buildFWT(s Scale) *trace.App {
+func buildFWT(s Scale) *appGen {
 	threads := 128
-	app := &trace.App{Name: "Fast Walsh Transform", Abbr: "FWT", Valley: false, InsnPerAccess: 44}
+	app := &appGen{Name: "Fast Walsh Transform", Abbr: "FWT", Valley: false, InsnPerAccess: 44}
 	nk := s.kernels(8)
 	for j := 0; j < nk; j++ {
 		stage := uint(j % 6)
@@ -484,9 +564,9 @@ func buildFWT(s Scale) *trace.App {
 
 // buildNN models the nearest-neighbor microbenchmark: short contiguous
 // streams over a few MB with modest reuse.
-func buildNN(s Scale) *trace.App {
+func buildNN(s Scale) *appGen {
 	threads := 128
-	app := &trace.App{Name: "NN", Abbr: "NN", Valley: false, InsnPerAccess: 90}
+	app := &appGen{Name: "NN", Abbr: "NN", Valley: false, InsnPerAccess: 90}
 	nk := s.kernels(4)
 	for j := 0; j < nk; j++ {
 		j := j
@@ -504,9 +584,9 @@ func buildNN(s Scale) *trace.App {
 // buildSPMV models Parboil SpMV: contiguous row-pointer reads plus
 // uniformly random column gathers over a 16 MB vector — entropy in every
 // bit.
-func buildSPMV(s Scale) *trace.App {
+func buildSPMV(s Scale) *appGen {
 	threads := 64
-	app := &trace.App{Name: "SPMV", Abbr: "SPMV", Valley: false, InsnPerAccess: 36}
+	app := &appGen{Name: "SPMV", Abbr: "SPMV", Valley: false, InsnPerAccess: 36}
 	nk := s.kernels(4)
 	for j := 0; j < nk; j++ {
 		j := j
@@ -525,9 +605,9 @@ func buildSPMV(s Scale) *trace.App {
 // buildLM models Rodinia LavaMD: each TB streams its own 1 KB particle box
 // plus neighbor boxes inside a 256 KB LLC-resident region — very high
 // APKI, almost no LLC misses.
-func buildLM(s Scale) *trace.App {
+func buildLM(s Scale) *appGen {
 	threads := 256
-	app := &trace.App{Name: "LavaMD", Abbr: "LM", Valley: false, InsnPerAccess: 18}
+	app := &appGen{Name: "LavaMD", Abbr: "LM", Valley: false, InsnPerAccess: 18}
 	app.Kernels = append(app.Kernels,
 		kernel("lavamd", s.tbs(64), threads, 160, func(e *reqEmitter, tb int) {
 			const region = 256 << 10
@@ -550,9 +630,9 @@ func buildLM(s Scale) *trace.App {
 
 // buildMUM models MUMmerGPU: suffix-tree pointer chasing — uniformly
 // random reads over 64 MB with no locality whatsoever.
-func buildMUM(s Scale) *trace.App {
+func buildMUM(s Scale) *appGen {
 	threads := 64
-	app := &trace.App{Name: "MUMmerGPU", Abbr: "MUM", Valley: false, InsnPerAccess: 14}
+	app := &appGen{Name: "MUMmerGPU", Abbr: "MUM", Valley: false, InsnPerAccess: 14}
 	for j := 0; j < 2; j++ {
 		j := j
 		app.Kernels = append(app.Kernels,
@@ -567,9 +647,9 @@ func buildMUM(s Scale) *trace.App {
 
 // buildBFS models Rodinia BFS: frontier reads (contiguous) and random
 // neighbor/visited gathers over 32 MB across the level kernels.
-func buildBFS(s Scale) *trace.App {
+func buildBFS(s Scale) *appGen {
 	threads := 64
-	app := &trace.App{Name: "BFS", Abbr: "BFS", Valley: false, InsnPerAccess: 16}
+	app := &appGen{Name: "BFS", Abbr: "BFS", Valley: false, InsnPerAccess: 16}
 	nk := s.kernels(8)
 	for j := 0; j < nk; j++ {
 		j := j
@@ -589,28 +669,45 @@ func buildBFS(s Scale) *trace.App {
 // Catalog
 // ---------------------------------------------------------------------
 
+// spec wires a lazy generator into a Spec: Source streams it, Build is
+// the thin adapter that drains the stream into a materialized trace.
+func spec(abbr, name, suite string, valley bool, apki, mpki float64, kernels int, gen func(Scale) *appGen) Spec {
+	return Spec{
+		Abbr: abbr, Name: name, Suite: suite, Valley: valley,
+		PaperAPKI: apki, PaperMPKI: mpki, PaperKernels: kernels,
+		Source: func(s Scale) trace.Source { return gen(s).source() },
+		Build: func(s Scale) *trace.App {
+			app, err := trace.Collect(gen(s).source())
+			if err != nil {
+				panic(fmt.Sprintf("workload %s: %v", abbr, err)) // generator streams cannot fail
+			}
+			return app
+		},
+	}
+}
+
 var catalog = []Spec{
-	{"MT", "Transpose", "CUDA SDK", true, 7.44, 5.69, 4, buildMT},
-	{"LU", "LU Decomposition", "CUDA SDK", true, 12.32, 1.97, 1022, buildLU},
-	{"GS", "Gaussian", "Rodinia", true, 9.09, 0.01, 510, buildGS},
-	{"NW", "Needle", "Rodinia", true, 5.25, 5.12, 255, buildNW},
-	{"LPS", "Laplace", "Wong et al.", true, 2.27, 1.66, 2, buildLPS},
-	{"SC", "StreamCluster", "Rodinia", true, 4.24, 3.58, 50, buildSC},
-	{"SRAD2", "Srad v2", "Rodinia", true, 3.29, 1.85, 4, buildSRAD2},
-	{"DWT2D", "DWT2D", "Rodinia", true, 1.56, 1.21, 10, buildDWT2D},
-	{"HS", "Hotspot", "Rodinia", true, 0.71, 0.08, 1, buildHS},
-	{"SP", "Scalar Product", "CUDA SDK", true, 2.17, 2.16, 1, buildSP},
-	{"FWT", "Fast Walsh Transform", "CUDA SDK", false, 2.69, 1.38, 22, buildFWT},
-	{"NN", "NN", "Wong et al.", false, 2.33, 0.2, 4, buildNN},
-	{"SPMV", "SPMV", "Parboil", false, 5.95, 2.75, 50, buildSPMV},
-	{"LM", "LavaMD", "Rodinia", false, 18.23, 0.01, 1, buildLM},
-	{"MUM", "MUMmerGPU", "Rodinia", false, 25.63, 22.53, 2, buildMUM},
-	{"BFS", "BFS", "Rodinia", false, 26.92, 18.14, 24, buildBFS},
+	spec("MT", "Transpose", "CUDA SDK", true, 7.44, 5.69, 4, buildMT),
+	spec("LU", "LU Decomposition", "CUDA SDK", true, 12.32, 1.97, 1022, buildLU),
+	spec("GS", "Gaussian", "Rodinia", true, 9.09, 0.01, 510, buildGS),
+	spec("NW", "Needle", "Rodinia", true, 5.25, 5.12, 255, buildNW),
+	spec("LPS", "Laplace", "Wong et al.", true, 2.27, 1.66, 2, buildLPS),
+	spec("SC", "StreamCluster", "Rodinia", true, 4.24, 3.58, 50, buildSC),
+	spec("SRAD2", "Srad v2", "Rodinia", true, 3.29, 1.85, 4, buildSRAD2),
+	spec("DWT2D", "DWT2D", "Rodinia", true, 1.56, 1.21, 10, buildDWT2D),
+	spec("HS", "Hotspot", "Rodinia", true, 0.71, 0.08, 1, buildHS),
+	spec("SP", "Scalar Product", "CUDA SDK", true, 2.17, 2.16, 1, buildSP),
+	spec("FWT", "Fast Walsh Transform", "CUDA SDK", false, 2.69, 1.38, 22, buildFWT),
+	spec("NN", "NN", "Wong et al.", false, 2.33, 0.2, 4, buildNN),
+	spec("SPMV", "SPMV", "Parboil", false, 5.95, 2.75, 50, buildSPMV),
+	spec("LM", "LavaMD", "Rodinia", false, 18.23, 0.01, 1, buildLM),
+	spec("MUM", "MUMmerGPU", "Rodinia", false, 25.63, 22.53, 2, buildMUM),
+	spec("BFS", "BFS", "Rodinia", false, 26.92, 18.14, 24, buildBFS),
 }
 
 var kernelSpecs = []Spec{
-	{"SRAD2K1", "Srad v2 kernel 1", "Rodinia", true, 3.29, 1.85, 1, buildSRAD2K1},
-	{"DWT2DK1", "DWT2D kernel 1", "Rodinia", true, 1.56, 1.21, 1, buildDWT2DK1},
+	spec("SRAD2K1", "Srad v2 kernel 1", "Rodinia", true, 3.29, 1.85, 1, buildSRAD2K1),
+	spec("DWT2DK1", "DWT2D kernel 1", "Rodinia", true, 1.56, 1.21, 1, buildDWT2DK1),
 }
 
 // Catalog returns the 16 benchmarks of Table II in paper order.

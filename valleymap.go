@@ -2,6 +2,7 @@ package valleymap
 
 import (
 	"io"
+	"runtime"
 
 	"valleymap/internal/bim"
 	"valleymap/internal/entropy"
@@ -114,6 +115,42 @@ const (
 // as the GPU's coalescing unit does.
 func Coalesce(app *App, lineBytes int) *App { return trace.CoalesceApp(app, lineBytes) }
 
+// ---------------------------------------------------------------------
+// Streaming traces (the one-pass profiling pipeline)
+// ---------------------------------------------------------------------
+
+// Streaming trace types: a TraceStream yields chunked request batches
+// with explicit kernel/TB boundaries; a TraceSource restarts streams
+// over the same trace. See internal/trace's stream conventions.
+type (
+	TraceBatch      = trace.Batch
+	TraceStream     = trace.Stream
+	TraceSource     = trace.Source
+	TraceSourceInfo = trace.SourceInfo
+	TraceKernelInfo = trace.KernelInfo
+	// CSVTraceStream is a single-shot streaming CSV decoder with an
+	// incremental SHA-256 of the bytes consumed.
+	CSVTraceStream = trace.CSVStream
+)
+
+// NewAppSource adapts a materialized trace into a restartable streaming
+// source (batches alias the App's memory; do not mutate them).
+func NewAppSource(app *App) TraceSource { return trace.AppSource(app) }
+
+// CollectTrace drains a streaming source into a materialized trace.
+func CollectTrace(src TraceSource) (*App, error) { return trace.Collect(src) }
+
+// CoalesceTraceStream coalesces a request stream on the fly, keeping
+// only the current warp window in memory (streaming Coalesce).
+func CoalesceTraceStream(st TraceStream, lineBytes int) TraceStream {
+	return trace.CoalesceStream(st, lineBytes)
+}
+
+// StreamTraceCSV starts a streaming decode of a CSV trace: the
+// streaming ReadTraceCSV. The returned stream is single-shot and
+// exposes the content hash once fully drained.
+func StreamTraceCSV(r io.Reader) *CSVTraceStream { return trace.NewCSVStream(r) }
+
 // WorkloadSpec describes one benchmark of the study.
 type WorkloadSpec = workload.Spec
 
@@ -162,23 +199,25 @@ type AnalysisOptions struct {
 	LineBytes int
 	// Transform optionally maps addresses before profiling (e.g. a
 	// Mapper's Map method, to obtain Figure 10-style post-mapping
-	// profiles).
+	// profiles). When the streaming analyzers fan out (Workers > 1),
+	// Transform is called from that many goroutines concurrently and
+	// must be safe for concurrent use (Mapper.Map is).
 	Transform func(uint64) uint64
+	// Workers controls the per-TB fan-out of the streaming analyzers
+	// (AnalyzeSource, AnalyzeStream): 0 uses GOMAXPROCS — unless a
+	// Transform is set, in which case 0 stays single-threaded so
+	// stateful transforms are safe by default (set Workers explicitly
+	// to fan a concurrency-safe Transform out). Negative always forces
+	// single-threaded folding. AnalyzeApp ignores it.
+	Workers int
 }
 
 // AnalyzeApp computes the window-based entropy distribution of an
 // application trace (Equations 1–2, aggregated per kernel and weighted by
-// request counts).
+// request counts). It is the materialized reference path; AnalyzeSource
+// and AnalyzeStream produce bit-identical profiles one batch at a time.
 func AnalyzeApp(app *App, opt AnalysisOptions) Profile {
-	if opt.Window == 0 {
-		opt.Window = 12
-	}
-	if opt.Bits == 0 {
-		opt.Bits = 30
-	}
-	if opt.LineBytes == 0 {
-		opt.LineBytes = 128
-	}
+	opt = opt.withDefaults()
 	a := app
 	if opt.LineBytes > 0 {
 		a = trace.CoalesceApp(app, opt.LineBytes)
@@ -188,6 +227,47 @@ func AnalyzeApp(app *App, opt AnalysisOptions) Profile {
 		f = opt.Transform
 	}
 	return entropy.AppProfile(a, opt.Window, opt.Bits, f)
+}
+
+func (opt AnalysisOptions) withDefaults() AnalysisOptions {
+	if opt.Window == 0 {
+		opt.Window = 12
+	}
+	if opt.Bits == 0 {
+		opt.Bits = 30
+	}
+	if opt.LineBytes == 0 {
+		opt.LineBytes = 128
+	}
+	return opt
+}
+
+// AnalyzeSource profiles a streaming trace source end to end —
+// generate/decode → coalesce → online windowed profile — without ever
+// materializing the trace: memory is O(window × bits) plus one batch,
+// however long the trace runs. The result is bit-identical to
+// AnalyzeApp over the collected trace.
+func AnalyzeSource(src TraceSource, opt AnalysisOptions) (Profile, error) {
+	return AnalyzeStream(src.Stream(), opt)
+}
+
+// AnalyzeStream is AnalyzeSource for an already-started stream (e.g. a
+// CSVTraceStream over a network body or an on-disk trace).
+func AnalyzeStream(st TraceStream, opt AnalysisOptions) (Profile, error) {
+	opt = opt.withDefaults()
+	if opt.LineBytes > 0 {
+		st = trace.CoalesceStream(st, opt.LineBytes)
+	}
+	workers := opt.Workers
+	if workers == 0 && opt.Transform == nil {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return entropy.ProfileStream(st, entropy.StreamOptions{
+		Window:    opt.Window,
+		Bits:      opt.Bits,
+		Transform: opt.Transform,
+		Workers:   workers,
+	})
 }
 
 // ---------------------------------------------------------------------
