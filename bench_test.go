@@ -68,6 +68,7 @@ func BenchmarkFigure04LayoutDecode(b *testing.B) {
 
 // BenchmarkFigure05EntropyProfiles computes the 18 entropy distributions.
 func BenchmarkFigure05EntropyProfiles(b *testing.B) {
+	b.ReportAllocs()
 	var valleys int
 	for i := 0; i < b.N; i++ {
 		profs := valleymap.Figure5(tinyOpt())
@@ -132,6 +133,7 @@ func BenchmarkFigure09BroadConstruction(b *testing.B) {
 // BenchmarkFigure10MTRemapping computes MT's post-mapping entropy for all
 // six schemes and reports how well PAE fills the valley.
 func BenchmarkFigure10MTRemapping(b *testing.B) {
+	b.ReportAllocs()
 	var paeMin float64
 	for i := 0; i < b.N; i++ {
 		profs := valleymap.Figure10(tinyOpt())
@@ -160,6 +162,7 @@ func BenchmarkTable1Configs(b *testing.B) {
 // BenchmarkTable2Characteristics measures APKI/MPKI for all 16 benchmarks
 // under BASE.
 func BenchmarkTable2Characteristics(b *testing.B) {
+	b.ReportAllocs()
 	var rows int
 	for i := 0; i < b.N; i++ {
 		rows = len(valleymap.Table2(tinyOpt()))
@@ -171,6 +174,7 @@ func BenchmarkTable2Characteristics(b *testing.B) {
 // per iteration and returns the last suite for metric extraction.
 func valleySuite(b *testing.B) valleymap.SuiteResult {
 	b.Helper()
+	b.ReportAllocs()
 	var suite valleymap.SuiteResult
 	for i := 0; i < b.N; i++ {
 		suite = valleymap.ValleySuite(tinyOpt())
@@ -285,6 +289,7 @@ func BenchmarkFigure17PerfPerWatt(b *testing.B) {
 
 // BenchmarkFigure18Sensitivity runs the SM-count + 3D-stacked study.
 func BenchmarkFigure18Sensitivity(b *testing.B) {
+	b.ReportAllocs()
 	var pts []struct {
 		name string
 		pae  float64
@@ -305,6 +310,7 @@ func BenchmarkFigure18Sensitivity(b *testing.B) {
 
 // BenchmarkFigure19BIMSensitivity runs three random BIMs per scheme.
 func BenchmarkFigure19BIMSensitivity(b *testing.B) {
+	b.ReportAllocs()
 	var res map[valleymap.Scheme][3]float64
 	for i := 0; i < b.N; i++ {
 		res = valleymap.Figure19(tinyOpt())
@@ -320,6 +326,7 @@ func BenchmarkFigure19BIMSensitivity(b *testing.B) {
 // BenchmarkFigure20NonValley reports the non-valley benchmark speedups
 // (expected ≈ 1.0).
 func BenchmarkFigure20NonValley(b *testing.B) {
+	b.ReportAllocs()
 	var suite valleymap.SuiteResult
 	for i := 0; i < b.N; i++ {
 		suite = valleymap.NonValleySuite(tinyOpt())

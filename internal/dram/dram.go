@@ -10,6 +10,10 @@
 // everything the paper measures at the DRAM level — row-buffer hit rate
 // (Figure 15), bank-/channel-level parallelism (Figure 14) and the
 // activate-dominated power differences (Figure 16).
+//
+// Requests recycle through a Pool and controllers schedule through the
+// engine's handler API with per-bank kick records, so steady-state
+// traffic does not allocate.
 package dram
 
 import (
@@ -69,6 +73,37 @@ type Request struct {
 	arrive sim.Time
 	row    int
 	bank   int
+	ctl    *Controller
+	pooled bool
+}
+
+// Pool recycles Requests. It is single-goroutine like the engine: one
+// pool belongs to one simulation at a time, though it may be reused
+// across sequential runs (gpusim's Runner does exactly that).
+type Pool struct {
+	free []*Request
+}
+
+// NewPool returns an empty request pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns a zeroed Request. The owning controller returns it to the
+// pool automatically after its data burst completes (and Done, if any,
+// has fired). Requests constructed directly — not from a pool — are
+// never recycled, so external callers may still pass their own.
+func (p *Pool) Get() *Request {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free = p.free[:n-1]
+		return r
+	}
+	return &Request{pooled: true}
+}
+
+func (p *Pool) put(r *Request) {
+	r.Addr, r.Write, r.Done = 0, false, nil
+	r.arrive, r.row, r.bank, r.ctl = 0, 0, 0, nil
+	p.free = append(p.free, r)
 }
 
 // Stats aggregates controller counters.
@@ -88,12 +123,21 @@ func (s Stats) RowBufferHitRate() float64 {
 	return float64(s.RowHits) / float64(total)
 }
 
+// bankKick is the pooled arg for a bank's deferred service event. Each
+// bank owns exactly one (the scheduled flag guarantees at most one kick
+// is in flight per bank), allocated once at controller construction.
+type bankKick struct {
+	c  *Controller
+	bi int
+}
+
 type bank struct {
 	openRow   int64 // -1 = closed
 	readyAt   sim.Time
 	lastAct   sim.Time
 	queue     []*Request
 	scheduled bool
+	kick      *bankKick
 }
 
 // ParallelismProbe receives outstanding-count transitions for the
@@ -112,6 +156,7 @@ type Controller struct {
 	banks   []bank
 	bus     sim.Server
 	probe   ParallelismProbe
+	pool    *Pool // recycles pooled requests after completion; may be nil
 
 	stats   Stats
 	latency sim.Welford
@@ -125,6 +170,7 @@ func NewController(eng *sim.Engine, cfg Config, channel int, probe ParallelismPr
 		c.banks[i].openRow = -1
 		// Far enough in the past that the first ACT is never tRC-gated.
 		c.banks[i].lastAct = -(sim.Second << 8)
+		c.banks[i].kick = &bankKick{c: c, bi: i}
 	}
 	return c
 }
@@ -153,6 +199,7 @@ func (c *Controller) Enqueue(r *Request) {
 	r.arrive = now
 	r.row = c.cfg.Layout.RowOf(r.Addr)
 	r.bank = c.cfg.Layout.BankGlobal(r.Addr)
+	r.ctl = c
 	if r.bank >= len(c.banks) {
 		panic(fmt.Sprintf("dram: bank %d out of range (%d banks)", r.bank, len(c.banks)))
 	}
@@ -178,13 +225,34 @@ func (c *Controller) kick(bi int, now sim.Time) {
 	c.service(bi, now)
 }
 
+func bankKickH(arg any) {
+	k := arg.(*bankKick)
+	k.c.banks[k.bi].scheduled = false
+	k.c.kick(k.bi, k.c.eng.Now())
+}
+
 func (c *Controller) scheduleKick(bi int, at sim.Time) {
 	b := &c.banks[bi]
 	b.scheduled = true
-	c.eng.At(at, func() {
-		c.banks[bi].scheduled = false
-		c.kick(bi, c.eng.Now())
-	})
+	c.eng.AtCall(at, bankKickH, b.kick)
+}
+
+// burstDoneH fires when a request's data burst completes: it retires
+// the parallelism counts, invokes Done, and recycles pooled requests.
+func burstDoneH(arg any) {
+	r := arg.(*Request)
+	c := r.ctl
+	done := c.eng.Now()
+	if c.probe != nil {
+		c.probe.ChannelDelta(done, c.channel, -1)
+		c.probe.BankDelta(done, c.channel, r.bank, -1)
+	}
+	if r.Done != nil {
+		r.Done(done)
+	}
+	if r.pooled && c.pool != nil {
+		c.pool.put(r)
+	}
 }
 
 // service performs FR-FCFS selection and issues one request on bank bi.
@@ -236,7 +304,9 @@ func (c *Controller) service(bi int, now sim.Time) {
 	}
 
 	// Remove the selected request.
-	b.queue = append(b.queue[:sel], b.queue[sel+1:]...)
+	copy(b.queue[sel:], b.queue[sel+1:])
+	b.queue[len(b.queue)-1] = nil
+	b.queue = b.queue[:len(b.queue)-1]
 
 	// The burst serializes on the channel data bus.
 	_, busDone := c.bus.Acquire(dataReady, cyc(t.BurstCycles))
@@ -245,18 +315,8 @@ func (c *Controller) service(bi int, now sim.Time) {
 	} else {
 		c.stats.Reads++
 	}
-	done := busDone
-	c.latency.Observe(t.Clock.ToCycles(done - r.arrive))
-	ch, bank := c.channel, bi
-	c.eng.At(done, func() {
-		if c.probe != nil {
-			c.probe.ChannelDelta(done, ch, -1)
-			c.probe.BankDelta(done, ch, bank, -1)
-		}
-		if r.Done != nil {
-			r.Done(done)
-		}
-	})
+	c.latency.Observe(t.Clock.ToCycles(busDone - r.arrive))
+	c.eng.AtCall(busDone, burstDoneH, r)
 
 	// Keep draining the queue.
 	if len(b.queue) > 0 {
@@ -273,16 +333,31 @@ func (c *Controller) BusUtilization(horizon sim.Time) float64 {
 type System struct {
 	cfg         Config
 	Controllers []*Controller
+	pool        *Pool
 }
 
-// NewSystem builds controllers for every channel in the layout.
+// NewSystem builds controllers for every channel in the layout with a
+// fresh request pool.
 func NewSystem(eng *sim.Engine, cfg Config, probe ParallelismProbe) *System {
-	s := &System{cfg: cfg}
+	return NewSystemWithPool(eng, cfg, probe, NewPool())
+}
+
+// NewSystemWithPool builds controllers sharing the given request pool,
+// so a caller running many simulations back to back (gpusim.Runner)
+// reuses request records across runs.
+func NewSystemWithPool(eng *sim.Engine, cfg Config, probe ParallelismProbe, pool *Pool) *System {
+	s := &System{cfg: cfg, pool: pool}
 	for ch := 0; ch < cfg.Layout.Channels(); ch++ {
-		s.Controllers = append(s.Controllers, NewController(eng, cfg, ch, probe))
+		c := NewController(eng, cfg, ch, probe)
+		c.pool = pool
+		s.Controllers = append(s.Controllers, c)
 	}
 	return s
 }
+
+// Get returns a pooled Request ready to fill in and Enqueue. It is
+// recycled automatically after its burst completes and Done fires.
+func (s *System) Get() *Request { return s.pool.Get() }
 
 // Enqueue routes a transaction to its channel controller.
 func (s *System) Enqueue(r *Request) {

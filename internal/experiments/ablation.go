@@ -50,14 +50,15 @@ func AblationInputBreadth(opt Options) []BreadthPoint {
 	// covering valleys at different bit positions.
 	specs := []string{"MT", "LU", "SC", "SP"}
 	chBank := layout.Bits0(targetMask)
+	runner := gpusim.NewRunner()
 	for i := range points {
 		m := mapping.NewBroadCustom(mapping.Scheme(points[i].Name), l, points[i].InMask, opt.Seed)
 		var spSum, cbSum float64
 		for _, abbr := range specs {
 			spec, _ := workload.ByAbbr(abbr)
 			app := spec.Build(opt.Scale)
-			base := gpusim.Run(app, mapping.NewBASE(l), cfg)
-			res := gpusim.Run(app, m, cfg)
+			base := runner.Run(app, mapping.NewBASE(l), cfg)
+			res := runner.Run(app, m, cfg)
 			spSum += float64(base.ExecTime) / float64(res.ExecTime)
 			st := trace.CoalesceStream(trace.AppSource(app).Stream(), opt.LineBytes)
 			prof := streamProfile(st, opt.Window, opt.Bits, nil, m.MapBatch)

@@ -140,12 +140,15 @@ type SuiteResult struct {
 func RunSuite(specs []workload.Spec, schemes []mapping.Scheme, cfg gpusim.Config, opt Options) SuiteResult {
 	opt = opt.withDefaults()
 	out := SuiteResult{Schemes: schemes, Results: map[string]map[mapping.Scheme]gpusim.Result{}}
+	// One Runner for the whole suite: cells run sequentially, so the
+	// engine slab and request pools stay warm across every cell.
+	runner := gpusim.NewRunner()
 	for _, spec := range specs {
 		app := spec.Build(opt.Scale)
 		row := map[mapping.Scheme]gpusim.Result{}
 		for _, s := range schemes {
 			m := mapping.MustNew(s, cfg.Layout, mapping.Options{Seed: opt.Seed})
-			row[s] = gpusim.Run(app, m, cfg)
+			row[s] = runner.Run(app, m, cfg)
 		}
 		out.Workloads = append(out.Workloads, spec.Abbr)
 		out.Results[spec.Abbr] = row
@@ -309,9 +312,10 @@ func Table2(opt Options) []Table2Row {
 	cfg := gpusim.Baseline()
 	base := mapping.NewBASE(cfg.Layout)
 	var out []Table2Row
+	runner := gpusim.NewRunner()
 	for _, spec := range workload.Catalog() {
 		app := spec.Build(opt.Scale)
-		res := gpusim.Run(app, base, cfg)
+		res := runner.Run(app, base, cfg)
 		out = append(out, Table2Row{
 			Abbr:         spec.Abbr,
 			APKI:         res.APKI,

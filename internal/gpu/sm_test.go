@@ -15,9 +15,9 @@ type fakeFabric struct {
 	writes []uint64
 }
 
-func (f *fakeFabric) IssueRead(now sim.Time, sm int, addr uint64, done func(sim.Time)) {
+func (f *fakeFabric) IssueRead(now sim.Time, sm int, addr uint64, sink ReadSink) {
 	f.reads = append(f.reads, addr)
-	f.eng.At(now+f.delay, func() { done(f.eng.Now()) })
+	f.eng.At(now+f.delay, func() { sink.FillLine(addr, f.eng.Now()) })
 }
 
 func (f *fakeFabric) IssueWrite(now sim.Time, sm int, addr uint64) {
@@ -52,27 +52,28 @@ func TestBuildProgramsCoalesced(t *testing.T) {
 	if len(progs) != 2 {
 		t.Fatalf("programs = %d", len(progs))
 	}
-	for w, p := range progs {
-		if len(p.Instrs) != 1 {
-			t.Fatalf("warp %d instrs = %d, want 1", w, len(p.Instrs))
+	for w := range progs {
+		p := &progs[w]
+		if p.NumInstrs() != 1 {
+			t.Fatalf("warp %d instrs = %d, want 1", w, p.NumInstrs())
 		}
-		if len(p.Instrs[0]) != 1 {
-			t.Errorf("warp %d transactions = %d, want 1 (coalesced)", w, len(p.Instrs[0]))
+		if len(p.Instr(0)) != 1 {
+			t.Errorf("warp %d transactions = %d, want 1 (coalesced)", w, len(p.Instr(0)))
 		}
 	}
 }
 
 func TestBuildProgramsDiverged(t *testing.T) {
 	progs := BuildPrograms(stridedTB(32, 4096, trace.Read), 1, 128, nil)
-	if len(progs[0].Instrs) != 1 || len(progs[0].Instrs[0]) != 32 {
-		t.Fatalf("diverged instr shape = %v", len(progs[0].Instrs[0]))
+	if progs[0].NumInstrs() != 1 || len(progs[0].Instr(0)) != 32 {
+		t.Fatalf("diverged instr shape = %v", len(progs[0].Instr(0)))
 	}
 }
 
 func TestBuildProgramsAppliesMapping(t *testing.T) {
 	flip := func(a uint64) uint64 { return a ^ (1 << 20) }
 	progs := BuildPrograms(contiguousTB(32), 1, 128, flip)
-	if got := progs[0].Instrs[0][0].Addr; got != 1<<20 {
+	if got := progs[0].Instr(0)[0].Addr; got != 1<<20 {
 		t.Errorf("mapped addr = %#x, want %#x", got, 1<<20)
 	}
 }
@@ -82,10 +83,10 @@ func TestBuildProgramsKindsAndOrder(t *testing.T) {
 	tb.Requests = append(tb.Requests, trace.Request{Addr: 0, Kind: trace.Read, Warp: 0})
 	tb.Requests = append(tb.Requests, trace.Request{Addr: 4096, Kind: trace.Write, Warp: 0})
 	progs := BuildPrograms(tb, 1, 128, nil)
-	if len(progs[0].Instrs) != 2 {
-		t.Fatalf("instrs = %d, want 2 (kind change splits instructions)", len(progs[0].Instrs))
+	if progs[0].NumInstrs() != 2 {
+		t.Fatalf("instrs = %d, want 2 (kind change splits instructions)", progs[0].NumInstrs())
 	}
-	if progs[0].Instrs[0][0].Write || !progs[0].Instrs[1][0].Write {
+	if progs[0].Instr(0)[0].Write || !progs[0].Instr(1)[0].Write {
 		t.Error("kinds wrong")
 	}
 }

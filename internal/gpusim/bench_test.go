@@ -1,0 +1,50 @@
+package gpusim
+
+import (
+	"testing"
+
+	"valleymap/internal/mapping"
+	"valleymap/internal/workload"
+)
+
+// benchRun measures one full-system simulation of a workload × scheme
+// cell. The trace is built once outside the timed loop, so the numbers
+// are the simulator's own: event scheduling, the SM/NoC/LLC/DRAM models
+// and the per-request bookkeeping.
+func benchRun(b *testing.B, abbr string, s mapping.Scheme) {
+	b.Helper()
+	spec, ok := workload.ByAbbr(abbr)
+	if !ok {
+		b.Fatalf("unknown workload %s", abbr)
+	}
+	cfg := Baseline()
+	app := spec.Build(workload.Tiny)
+	m := mapping.MustNew(s, cfg.Layout, mapping.Options{Seed: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res Result
+	for i := 0; i < b.N; i++ {
+		res = Run(app, m, cfg)
+	}
+	b.ReportMetric(float64(res.Transactions), "transactions")
+}
+
+func BenchmarkRunMTBase(b *testing.B) { benchRun(b, "MT", mapping.BASE) }
+func BenchmarkRunMTPAE(b *testing.B)  { benchRun(b, "MT", mapping.PAE) }
+func BenchmarkRunSCPAE(b *testing.B)  { benchRun(b, "SC", mapping.PAE) }
+
+// BenchmarkRunnerReuseMTPAE is the sweep steady state: one Runner reused
+// across sequential runs, so the engine slab, request pools and program
+// buffers all carry over. This is how the service's sweep workers run.
+func BenchmarkRunnerReuseMTPAE(b *testing.B) {
+	spec, _ := workload.ByAbbr("MT")
+	cfg := Baseline()
+	app := spec.Build(workload.Tiny)
+	m := mapping.MustNew(mapping.PAE, cfg.Layout, mapping.Options{Seed: 1})
+	r := NewRunner()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Run(app, m, cfg)
+	}
+}

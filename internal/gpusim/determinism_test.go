@@ -1,0 +1,76 @@
+package gpusim
+
+import (
+	"reflect"
+	"testing"
+
+	"valleymap/internal/mapping"
+	"valleymap/internal/trace"
+	"valleymap/internal/workload"
+)
+
+// TestRunDeterminism pins the engine's same-instant event-ordering
+// guarantee through the pooled-event refactor: identical inputs must
+// produce byte-identical Results whether the simulation runs on a fresh
+// engine, on a Runner whose engine and pools are warm from a previous
+// run, or interleaved with other work on the same Runner.
+func TestRunDeterminism(t *testing.T) {
+	spec, _ := workload.ByAbbr("MT")
+	other, _ := workload.ByAbbr("SC")
+	cfg := Baseline()
+	app := spec.Build(workload.Tiny)
+	otherApp := other.Build(workload.Tiny)
+	m := mapping.MustNew(mapping.PAE, cfg.Layout, mapping.Options{Seed: 2})
+	mBase := mapping.MustNew(mapping.BASE, cfg.Layout, mapping.Options{Seed: 1})
+
+	fresh := Run(app, m, cfg)
+	again := Run(app, m, cfg)
+	if !reflect.DeepEqual(fresh, again) {
+		t.Fatalf("two fresh runs differ:\n%+v\nvs\n%+v", fresh, again)
+	}
+
+	// A reused Runner arrives with a warm engine slab, recycled request
+	// records and recycled program buffers — results must not change.
+	r := NewRunner()
+	if warm := r.Run(otherApp, mBase, cfg); warm.ExecTime <= 0 {
+		t.Fatal("warm-up run produced no time")
+	}
+	reused := r.Run(app, m, cfg)
+	if !reflect.DeepEqual(fresh, reused) {
+		t.Fatalf("pool-reused run differs from fresh run:\n%+v\nvs\n%+v", fresh, reused)
+	}
+	reusedAgain := r.Run(app, m, cfg)
+	if !reflect.DeepEqual(fresh, reusedAgain) {
+		t.Fatalf("second pool-reused run differs:\n%+v\nvs\n%+v", fresh, reusedAgain)
+	}
+}
+
+// TestRunLeavesTraceUntouched pins the read-only contract that lets the
+// service share one trace build across concurrent scheme cells: Run
+// must not mutate the App it simulates.
+func TestRunLeavesTraceUntouched(t *testing.T) {
+	spec, _ := workload.ByAbbr("MT")
+	cfg := Baseline()
+	app := spec.Build(workload.Tiny)
+	snapshot := cloneApp(app)
+	m := mapping.MustNew(mapping.PAE, cfg.Layout, mapping.Options{Seed: 1})
+	Run(app, m, cfg)
+	if !reflect.DeepEqual(snapshot, app) {
+		t.Fatal("Run mutated the input trace; the sweep's shared builds depend on it staying read-only")
+	}
+}
+
+func cloneApp(a *trace.App) *trace.App {
+	out := &trace.App{Name: a.Name, Abbr: a.Abbr, Valley: a.Valley, InsnPerAccess: a.InsnPerAccess}
+	out.Kernels = make([]trace.Kernel, len(a.Kernels))
+	for ki := range a.Kernels {
+		k := &a.Kernels[ki]
+		ck := trace.Kernel{Name: k.Name, WarpsPerTB: k.WarpsPerTB, ComputeGapCycles: k.ComputeGapCycles}
+		ck.TBs = make([]trace.TB, len(k.TBs))
+		for ti := range k.TBs {
+			ck.TBs[ti] = trace.TB{ID: k.TBs[ti].ID, Requests: append([]trace.Request(nil), k.TBs[ti].Requests...)}
+		}
+		out.Kernels[ki] = ck
+	}
+	return out
+}

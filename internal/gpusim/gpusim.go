@@ -3,6 +3,12 @@
 // and the 4-channel GDDR5 (or 3D-stacked) DRAM system — and runs
 // application traces through a chosen address mapping scheme, producing
 // every metric the paper's evaluation reports.
+//
+// The hot path is allocation-disciplined: every event schedules through
+// the engine's handler API with pooled per-request records, DRAM
+// requests recycle through a dram.Pool, and TB program buffers recycle
+// across launches. A Runner carries all of that state across sequential
+// runs, so sweeps reuse one engine and one set of pools per worker.
 package gpusim
 
 import (
@@ -122,9 +128,26 @@ type llcSlice struct {
 	port sim.Server
 }
 
+// memReq is one in-flight memory transaction between an SM and the
+// memory system; pooled on the Runner and recycled when the response
+// lands (reads) or the LLC retires the store (writes).
+type memReq struct {
+	sys   *system
+	sm    int32
+	slice int32
+	addr  uint64
+	sink  gpu.ReadSink
+	// dramDone is bound once at construction (to this record's
+	// onDRAMDone), so handing it to dram.Request.Done never allocates.
+	dramDone func(sim.Time)
+}
+
+func (r *memReq) onDRAMDone(sim.Time) { r.sys.respond(r) }
+
 // system is the fabric implementation handed to SMs.
 type system struct {
 	eng    *sim.Engine
+	run    *Runner
 	cfg    Config
 	xbar   *noc.Crossbar
 	slices []*llcSlice
@@ -133,12 +156,33 @@ type system struct {
 
 	sliceShift uint
 	sliceMask  uint64
-
-	llcStats cache.Stats
 }
 
 func (sys *system) sliceOf(addr uint64) int {
 	return int((addr >> sys.sliceShift) & sys.sliceMask)
+}
+
+func (sys *system) getReq() *memReq {
+	rn := sys.run
+	if n := len(rn.reqFree); n > 0 {
+		r := rn.reqFree[n-1]
+		rn.reqFree = rn.reqFree[:n-1]
+		r.sys = sys
+		return r
+	}
+	r := &memReq{sys: sys}
+	r.dramDone = r.onDRAMDone
+	return r
+}
+
+func (sys *system) putReq(r *memReq) {
+	// Drop the sink and system references: an idle Runner must not pin
+	// the finished run's SMs, caches and controllers through its free
+	// list (getReq rebinds sys on reuse; dramDone stays valid because it
+	// is bound to the memReq itself).
+	r.sink = nil
+	r.sys = nil
+	sys.run.reqFree = append(sys.run.reqFree, r)
 }
 
 // llcLookup performs the slice access at the current time and returns
@@ -152,59 +196,141 @@ func (sys *system) llcLookup(slice int, addr uint64, write bool) (bool, sim.Time
 	res := sys.slices[slice].c.Access(addr, write)
 	if res.Eviction && res.VictimDirty {
 		// Write the victim back to DRAM; fire-and-forget.
-		sys.dram.Enqueue(&dram.Request{Addr: res.Victim, Write: true})
+		wb := sys.dram.Get()
+		wb.Addr = res.Victim
+		wb.Write = true
+		sys.dram.Enqueue(wb)
 	}
 	return res.Hit, resolve
 }
 
+// Event handlers: package-level functions over pooled memReqs, so the
+// whole read/write flow schedules without allocating.
+
+// readArriveH fires when a read request packet reaches its LLC slice.
+func readArriveH(arg any) {
+	r := arg.(*memReq)
+	sys := r.sys
+	sys.par.LLCDelta(sys.eng.Now(), int(r.slice), +1)
+	hit, resolve := sys.llcLookup(int(r.slice), r.addr, false)
+	if hit {
+		sys.eng.AtCall(resolve, respondH, r)
+		return
+	}
+	// Fetch the line from DRAM, then respond.
+	sys.eng.AtCall(resolve, readMissH, r)
+}
+
+// readMissH fires when a missing slice lookup resolves: the line is
+// fetched from DRAM and the response continues in onDRAMDone.
+func readMissH(arg any) {
+	r := arg.(*memReq)
+	d := r.sys.dram.Get()
+	d.Addr = r.addr
+	d.Write = false
+	d.Done = r.dramDone
+	r.sys.dram.Enqueue(d)
+}
+
+// respondH fires when a hitting slice lookup resolves.
+func respondH(arg any) {
+	r := arg.(*memReq)
+	r.sys.respond(r)
+}
+
+// respDoneH fires when the 128 B response packet reaches the SM.
+func respDoneH(arg any) {
+	r := arg.(*memReq)
+	sys := r.sys
+	now := sys.eng.Now()
+	sys.par.LLCDelta(now, int(r.slice), -1)
+	sink, addr := r.sink, r.addr
+	sys.putReq(r)
+	sink.FillLine(addr, now)
+}
+
+// writeArriveH fires when a store packet (header + line) reaches its
+// LLC slice.
+func writeArriveH(arg any) {
+	r := arg.(*memReq)
+	sys := r.sys
+	sys.par.LLCDelta(sys.eng.Now(), int(r.slice), +1)
+	_, resolve := sys.llcLookup(int(r.slice), r.addr, true)
+	sys.eng.AtCall(resolve, writeRetireH, r)
+}
+
+// writeRetireH retires a store at the LLC.
+func writeRetireH(arg any) {
+	r := arg.(*memReq)
+	sys := r.sys
+	sys.par.LLCDelta(sys.eng.Now(), int(r.slice), -1)
+	sys.putReq(r)
+}
+
 // IssueRead implements gpu.Fabric.
-func (sys *system) IssueRead(now sim.Time, sm int, addr uint64, done func(sim.Time)) {
-	slice := sys.sliceOf(addr)
-	arrive := sys.xbar.SendToSlice(now, slice, 8)
-	sys.eng.At(arrive, func() {
-		sys.par.LLCDelta(sys.eng.Now(), slice, +1)
-		hit, resolve := sys.llcLookup(slice, addr, false)
-		if hit {
-			sys.eng.At(resolve, func() { sys.respond(sm, slice, addr, done) })
-			return
-		}
-		// Fetch the line from DRAM, then respond.
-		sys.eng.At(resolve, func() {
-			sys.dram.Enqueue(&dram.Request{Addr: addr, Write: false, Done: func(d sim.Time) {
-				sys.respond(sm, slice, addr, done)
-			}})
-		})
-	})
+func (sys *system) IssueRead(now sim.Time, sm int, addr uint64, sink gpu.ReadSink) {
+	r := sys.getReq()
+	r.sm, r.slice, r.addr, r.sink = int32(sm), int32(sys.sliceOf(addr)), addr, sink
+	arrive := sys.xbar.SendToSlice(now, int(r.slice), 8)
+	sys.eng.AtCall(arrive, readArriveH, r)
 }
 
 // respond returns a 128 B data packet to the SM and retires the slice's
 // outstanding count.
-func (sys *system) respond(sm, slice int, addr uint64, done func(sim.Time)) {
-	now := sys.eng.Now()
-	respAt := sys.xbar.SendToSM(now, sm, 128)
-	sys.eng.At(respAt, func() {
-		sys.par.LLCDelta(sys.eng.Now(), slice, -1)
-		done(sys.eng.Now())
-	})
+func (sys *system) respond(r *memReq) {
+	respAt := sys.xbar.SendToSM(sys.eng.Now(), int(r.sm), 128)
+	sys.eng.AtCall(respAt, respDoneH, r)
 }
 
 // IssueWrite implements gpu.Fabric: stores carry a line to the LLC
 // (write-allocate, write-back) and complete there.
 func (sys *system) IssueWrite(now sim.Time, sm int, addr uint64) {
-	slice := sys.sliceOf(addr)
-	arrive := sys.xbar.SendToSlice(now, slice, 8+128)
-	sys.eng.At(arrive, func() {
-		sys.par.LLCDelta(sys.eng.Now(), slice, +1)
-		_, resolve := sys.llcLookup(slice, addr, true)
-		sys.eng.At(resolve, func() {
-			sys.par.LLCDelta(sys.eng.Now(), slice, -1)
-		})
-	})
+	r := sys.getReq()
+	r.sm, r.slice, r.addr = int32(sm), int32(sys.sliceOf(addr)), addr
+	arrive := sys.xbar.SendToSlice(now, int(r.slice), 8+128)
+	sys.eng.AtCall(arrive, writeArriveH, r)
+}
+
+// Runner owns the reusable simulation state: the event engine, the
+// memReq free list, the DRAM request pool and the TB program buffers.
+// Run resets the engine and reuses every pool, so sequential runs on
+// one Runner allocate a fraction of what independent runs would — with
+// bit-identical results (see internal/sim's determinism contract). A
+// Runner is single-goroutine; use one per worker.
+type Runner struct {
+	eng      sim.Engine
+	reqFree  []*memReq
+	dramPool *dram.Pool
+	progFree [][]gpu.WarpProgram
+	scratch  trace.TB
+}
+
+// NewRunner returns an empty Runner.
+func NewRunner() *Runner {
+	return &Runner{dramPool: dram.NewPool()}
+}
+
+func (r *Runner) getProgs() []gpu.WarpProgram {
+	if n := len(r.progFree); n > 0 {
+		p := r.progFree[n-1]
+		r.progFree = r.progFree[:n-1]
+		return p
+	}
+	return nil
+}
+
+func (r *Runner) putProgs(p []gpu.WarpProgram) {
+	r.progFree = append(r.progFree, p)
 }
 
 // Run simulates one application under one mapping scheme.
-func Run(app *trace.App, mapper mapping.Mapper, cfg Config) Result {
-	eng := &sim.Engine{}
+//
+// app is treated as strictly read-only: many Runners may simulate the
+// same *trace.App concurrently (the service's sweep cells share one
+// build per workload), so nothing in the simulator may mutate it.
+func (run *Runner) Run(app *trace.App, mapper mapping.Mapper, cfg Config) Result {
+	eng := &run.eng
+	eng.Reset()
 	par := metrics.NewMemParallelism(cfg.LLCSlices, cfg.Layout.Channels(), cfg.Layout.BanksPerChannel())
 	xbar, err := noc.New(eng, cfg.NoC)
 	if err != nil {
@@ -212,9 +338,10 @@ func Run(app *trace.App, mapper mapping.Mapper, cfg Config) Result {
 	}
 	sys := &system{
 		eng:  eng,
+		run:  run,
 		cfg:  cfg,
 		xbar: xbar,
-		dram: dram.NewSystem(eng, dram.Config{Layout: cfg.Layout, Timing: cfg.DRAMTiming}, par),
+		dram: dram.NewSystemWithPool(eng, dram.Config{Layout: cfg.Layout, Timing: cfg.DRAMTiming}, par, run.dramPool),
 		par:  par,
 	}
 	// LLC slice selection uses the address bits starting at the channel
@@ -232,7 +359,7 @@ func Run(app *trace.App, mapper mapping.Mapper, cfg Config) Result {
 
 	mapAddr := mapper.Map
 	for ki := range app.Kernels {
-		runKernel(eng, sms, &app.Kernels[ki], cfg, mapAddr)
+		run.runKernel(sms, &app.Kernels[ki], cfg, mapAddr)
 	}
 	end := eng.Now()
 	par.Finish(end)
@@ -286,10 +413,17 @@ func Run(app *trace.App, mapper mapping.Mapper, cfg Config) Result {
 	return res
 }
 
+// Run simulates one application under one mapping scheme with a fresh
+// Runner. Callers running many simulations should reuse a Runner.
+func Run(app *trace.App, mapper mapping.Mapper, cfg Config) Result {
+	return NewRunner().Run(app, mapper, cfg)
+}
+
 // runKernel dispatches the kernel's TBs over the SMs (round-robin as
 // slots free) and drains the engine — kernels serialize, so the drained
 // engine is the kernel barrier.
-func runKernel(eng *sim.Engine, sms []*gpu.SM, k *trace.Kernel, cfg Config, mapAddr func(uint64) uint64) {
+func (run *Runner) runKernel(sms []*gpu.SM, k *trace.Kernel, cfg Config, mapAddr func(uint64) uint64) {
+	eng := &run.eng
 	maxTBs := cfg.SM.MaxTBs
 	if byWarps := cfg.MaxWarpsPerSM / k.WarpsPerTB; byWarps < maxTBs {
 		maxTBs = byWarps
@@ -306,8 +440,14 @@ func runKernel(eng *sim.Engine, sms []*gpu.SM, k *trace.Kernel, cfg Config, mapA
 		}
 		tb := &k.TBs[next]
 		next++
-		progs := gpu.BuildPrograms(tb, k.WarpsPerTB, lineBytes, mapAddr)
-		sms[smIdx].LaunchTB(progs, k.ComputeGapCycles, func(sim.Time) { assign(smIdx) })
+		progs := gpu.BuildProgramsInto(run.getProgs(), &run.scratch, tb, k.WarpsPerTB, lineBytes, mapAddr)
+		// The one closure per TB launch below recycles the program
+		// buffer and refills the SM's slot; per-TB allocations are noise
+		// next to the TB's own request traffic.
+		sms[smIdx].LaunchTB(progs, k.ComputeGapCycles, func(sim.Time) {
+			run.putProgs(progs)
+			assign(smIdx)
+		})
 	}
 	// Initial dispatch is round-robin, one TB per SM per pass, exactly
 	// like the hardware TB scheduler: consecutive TB IDs land on

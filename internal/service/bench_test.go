@@ -1,0 +1,67 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// sweepOnce submits a 4-workload × 4-scheme sweep and waits for it.
+func sweepOnce(b *testing.B, s *Service) SimulateResult {
+	b.Helper()
+	job, err := s.Simulate(SimulateRequest{
+		Workloads: []string{"MT", "LU", "SC", "SP"},
+		Schemes:   []string{"BASE", "PM", "PAE", "FAE"},
+		Scale:     "tiny",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for {
+		j, ok := s.Job(job.ID)
+		if !ok {
+			b.Fatalf("job %s vanished", job.ID)
+		}
+		switch j.Status {
+		case JobDone:
+			return *j.Result
+		case JobFailed:
+			b.Fatalf("sweep failed: %s", j.Error)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// BenchmarkSweep measures the full service sweep path end to end:
+// dispatch, worker-pool fan-out, one shared trace build per workload,
+// runner reuse, aggregation.
+//
+// "cold" rebuilds the service each iteration, so every cell simulates
+// (16 cells, 4 trace builds). "warm" reuses one service, so after the
+// first iteration every cell is a simulation-result cache hit — the
+// repeated-sweep case the cache exists for.
+func BenchmarkSweep(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := New(Config{})
+			res := sweepOnce(b, s)
+			s.Close()
+			if len(res.Cells) != 16 {
+				b.Fatalf("cells = %d", len(res.Cells))
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		s := New(Config{})
+		defer s.Close()
+		sweepOnce(b, s) // populate the simulation-result cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := sweepOnce(b, s)
+			if res.HMeanSpeedup["PAE"] <= 0 {
+				b.Fatal("missing speedups")
+			}
+		}
+	})
+}

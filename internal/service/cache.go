@@ -6,49 +6,49 @@ import (
 	"sync"
 )
 
-// profileCache is a content-addressed LRU cache with in-flight request
+// lruCache is a content-addressed LRU cache with in-flight request
 // coalescing: concurrent lookups for the same key share one computation
 // (the first caller computes, the rest block on it and count as hits),
-// so a burst of identical requests costs one profile run. Keys encode
-// the trace identity (workload+scale, or the SHA-256 of an uploaded
-// trace) plus every analysis option that affects the result.
-type profileCache struct {
+// so a burst of identical requests costs one computation. It backs both
+// the profile cache and the simulation-result cache; keys encode the
+// input identity plus every option that affects the result.
+type lruCache[V any] struct {
 	mu       sync.Mutex
 	capacity int
 	ll       *list.List // front = most recently used
 	items    map[string]*list.Element
-	inflight map[string]*flight
-	metrics  *Metrics
+	inflight map[string]*flight[V]
+	// onHit / onMiss observe lookup outcomes (may be nil).
+	onHit, onMiss func()
 }
 
-type cacheEntry struct {
+type cacheEntry[V any] struct {
 	key string
-	val *ProfileResult
+	val V
 }
 
-type flight struct {
+type flight[V any] struct {
 	done chan struct{}
-	val  *ProfileResult
+	val  V
 	err  error
 }
 
-func newProfileCache(capacity int, m *Metrics) *profileCache {
+func newLRUCache[V any](capacity int, onHit, onMiss func()) *lruCache[V] {
 	if capacity < 1 {
 		capacity = 1
 	}
-	c := &profileCache{
+	return &lruCache[V]{
 		capacity: capacity,
 		ll:       list.New(),
 		items:    map[string]*list.Element{},
-		inflight: map[string]*flight{},
-		metrics:  m,
+		inflight: map[string]*flight[V]{},
+		onHit:    onHit,
+		onMiss:   onMiss,
 	}
-	m.cacheLen = c.Len
-	return c
 }
 
 // Len returns the number of resident entries.
-func (c *profileCache) Len() int {
+func (c *lruCache[V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
@@ -57,25 +57,30 @@ func (c *profileCache) Len() int {
 // GetOrCompute returns the cached value for key, or runs fn once to
 // produce it. hit is true when the value came from the cache or from
 // joining another caller's in-flight computation. Errors are not cached.
-func (c *profileCache) GetOrCompute(key string, fn func() (*ProfileResult, error)) (val *ProfileResult, hit bool, err error) {
+func (c *lruCache[V]) GetOrCompute(key string, fn func() (V, error)) (val V, hit bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		v := el.Value.(*cacheEntry).val
+		v := el.Value.(*cacheEntry[V]).val
 		c.mu.Unlock()
-		c.metrics.CacheHit()
+		if c.onHit != nil {
+			c.onHit()
+		}
 		return v, true, nil
 	}
 	if f, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
 		<-f.done
 		if f.err != nil {
-			return nil, false, f.err
+			var zero V
+			return zero, false, f.err
 		}
-		c.metrics.CacheHit()
+		if c.onHit != nil {
+			c.onHit()
+		}
 		return f.val, true, nil
 	}
-	f := &flight{done: make(chan struct{})}
+	f := &flight[V]{done: make(chan struct{})}
 	c.inflight[key] = f
 	c.mu.Unlock()
 
@@ -84,7 +89,7 @@ func (c *profileCache) GetOrCompute(key string, fn func() (*ProfileResult, error
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
-				f.err = fmt.Errorf("service: profile computation panicked: %v", r)
+				f.err = fmt.Errorf("service: cached computation panicked: %v", r)
 			}
 		}()
 		f.val, f.err = fn()
@@ -100,22 +105,44 @@ func (c *profileCache) GetOrCompute(key string, fn func() (*ProfileResult, error
 
 	// A failed computation was never cacheable; counting it as a miss
 	// would make client errors read as cache-sizing trouble in /metrics.
-	if f.err == nil {
-		c.metrics.CacheMiss()
+	if f.err == nil && c.onMiss != nil {
+		c.onMiss()
 	}
 	return f.val, false, f.err
 }
 
-func (c *profileCache) insertLocked(key string, val *ProfileResult) {
+func (c *lruCache[V]) insertLocked(key string, val V) {
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).val = val
+		el.Value.(*cacheEntry[V]).val = val
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	c.items[key] = c.ll.PushFront(&cacheEntry[V]{key: key, val: val})
 	for c.ll.Len() > c.capacity {
 		old := c.ll.Back()
 		c.ll.Remove(old)
-		delete(c.items, old.Value.(*cacheEntry).key)
+		delete(c.items, old.Value.(*cacheEntry[V]).key)
 	}
+}
+
+// profileCache is the entropy-profile LRU (content-addressed by trace
+// identity + analysis options).
+type profileCache = lruCache[*ProfileResult]
+
+func newProfileCache(capacity int, m *Metrics) *profileCache {
+	c := newLRUCache[*ProfileResult](capacity, m.CacheHit, m.CacheMiss)
+	m.cacheLen = c.Len
+	return c
+}
+
+// simCache holds finished simulation cells keyed by the full cell
+// coordinates (workload, scale, scheme, config, seed). Entries are the
+// flattened metric set; sweep-relative fields (speedup, wall time) are
+// recomputed per sweep.
+type simCache = lruCache[*simCell]
+
+func newSimCache(capacity int, m *Metrics) *simCache {
+	c := newLRUCache[*simCell](capacity, m.SimCacheHit, m.SimCacheMiss)
+	m.simCacheLen = c.Len
+	return c
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Metrics aggregates service-level counters and gauges and renders them
@@ -19,17 +20,24 @@ type Metrics struct {
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 
+	simCacheHits   atomic.Int64
+	simCacheMisses atomic.Int64
+
 	jobsEnqueued atomic.Int64
 	jobsDone     atomic.Int64
 	jobsFailed   atomic.Int64
 
 	cellsSimulated atomic.Int64
+	// sweepMicros accumulates total sweep wall time in microseconds
+	// (atomically; rendered as float seconds).
+	sweepMicros atomic.Int64
 
 	// Gauges are sampled at render time from the owning structures.
 	queueDepth  func() int
 	workersBusy func() int
 	workers     int
 	cacheLen    func() int
+	simCacheLen func() int
 }
 
 // NewMetrics returns an empty metrics registry. The service wires the
@@ -58,6 +66,26 @@ func (m *Metrics) ObserveRequest(path string, code int) {
 // CacheHit / CacheMiss count profile-cache outcomes.
 func (m *Metrics) CacheHit()  { m.cacheHits.Add(1) }
 func (m *Metrics) CacheMiss() { m.cacheMisses.Add(1) }
+
+// SimCacheHit / SimCacheMiss count simulation-result-cache outcomes.
+func (m *Metrics) SimCacheHit()  { m.simCacheHits.Add(1) }
+func (m *Metrics) SimCacheMiss() { m.simCacheMisses.Add(1) }
+
+// SimCacheCounts returns the raw (hits, misses) pair for the
+// simulation-result cache.
+func (m *Metrics) SimCacheCounts() (hits, misses int64) {
+	return m.simCacheHits.Load(), m.simCacheMisses.Load()
+}
+
+// AddSweepSeconds accumulates one sweep's wall time.
+func (m *Metrics) AddSweepSeconds(d time.Duration) {
+	m.sweepMicros.Add(d.Microseconds())
+}
+
+// SweepSeconds returns total wall time spent in sweeps.
+func (m *Metrics) SweepSeconds() float64 {
+	return float64(m.sweepMicros.Load()) / 1e6
+}
 
 // CacheHitRate returns hits/(hits+misses), 0 when no lookups happened.
 func (m *Metrics) CacheHitRate() float64 {
@@ -122,9 +150,23 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	add("# HELP valleyd_jobs_failed_total Simulation jobs that ended in error.\n")
 	add("# TYPE valleyd_jobs_failed_total counter\n")
 	add("valleyd_jobs_failed_total %d\n", m.jobsFailed.Load())
-	add("# HELP valleyd_sim_cells_total Individual workload x scheme simulations executed.\n")
+	add("# HELP valleyd_sim_cells_total Individual workload x scheme simulations executed (cache hits excluded).\n")
 	add("# TYPE valleyd_sim_cells_total counter\n")
 	add("valleyd_sim_cells_total %d\n", m.cellsSimulated.Load())
+	add("# HELP valleyd_sim_cells_cache_hits_total Sweep cells served from the simulation-result cache (including joins on in-flight cells).\n")
+	add("# TYPE valleyd_sim_cells_cache_hits_total counter\n")
+	add("valleyd_sim_cells_cache_hits_total %d\n", m.simCacheHits.Load())
+	add("# HELP valleyd_sim_cells_cache_misses_total Sweep cells that had to simulate.\n")
+	add("# TYPE valleyd_sim_cells_cache_misses_total counter\n")
+	add("valleyd_sim_cells_cache_misses_total %d\n", m.simCacheMisses.Load())
+	if m.simCacheLen != nil {
+		add("# HELP valleyd_sim_cache_entries Resident simulation-result cache entries.\n")
+		add("# TYPE valleyd_sim_cache_entries gauge\n")
+		add("valleyd_sim_cache_entries %d\n", m.simCacheLen())
+	}
+	add("# HELP valleyd_sweep_seconds_total Wall time spent executing simulation sweeps.\n")
+	add("# TYPE valleyd_sweep_seconds_total counter\n")
+	add("valleyd_sweep_seconds_total %g\n", m.SweepSeconds())
 
 	if m.queueDepth != nil {
 		add("# HELP valleyd_queue_depth Tasks waiting in the worker-pool queue.\n")

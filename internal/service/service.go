@@ -59,6 +59,10 @@ type Config struct {
 	QueueDepth int
 	// CacheEntries bounds the profile LRU cache (0 = 512).
 	CacheEntries int
+	// SimCacheEntries bounds the simulation-result LRU cache (0 = 256).
+	// Cells are keyed by (workload, scale, scheme, config, seed), so
+	// repeated sweeps over the same grid are near-free.
+	SimCacheEntries int
 	// MaxTraceBytes caps uploaded trace bodies (0 = 256 MiB). The cap
 	// protects bandwidth, not memory: uploads stream through the
 	// decoder → coalescer → accumulator pipeline at O(window × bits)
@@ -80,6 +84,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 512
 	}
+	if c.SimCacheEntries == 0 {
+		c.SimCacheEntries = 256
+	}
 	if c.MaxTraceBytes == 0 {
 		c.MaxTraceBytes = 256 << 20
 	}
@@ -92,11 +99,12 @@ func (c Config) withDefaults() Config {
 // Service is the valleyd engine. Construct with New, serve its Handler,
 // Close on shutdown.
 type Service struct {
-	cfg     Config
-	metrics *Metrics
-	cache   *profileCache
-	jobs    *jobStore
-	pool    *pool
+	cfg      Config
+	metrics  *Metrics
+	cache    *profileCache
+	simCache *simCache
+	jobs     *jobStore
+	pool     *pool
 	// profileSem bounds concurrent profile computations (trace builds +
 	// entropy analysis run on handler goroutines, not the sweep pool);
 	// without it, N distinct-key requests materialize N traces at once.
@@ -117,6 +125,7 @@ func New(cfg Config) *Service {
 		cfg:        cfg,
 		metrics:    m,
 		cache:      newProfileCache(cfg.CacheEntries, m),
+		simCache:   newSimCache(cfg.SimCacheEntries, m),
 		jobs:       newJobStore(cfg.MaxJobs),
 		pool:       newPool(cfg.Workers, cfg.QueueDepth, m),
 		profileSem: make(chan struct{}, cfg.Workers),
@@ -704,15 +713,23 @@ type SimulateRequest struct {
 
 // CellResult is one workload × scheme simulation: the shared metric
 // flattening of internal/experiments plus the sweep coordinates.
+// Seconds is the cell's wall time inside this sweep. Cached reports
+// that the metrics came from the simulation-result cache rather than a
+// fresh simulation; a resident entry makes Seconds near zero, but a
+// cell that joined another sweep's in-flight computation reports the
+// full wait even though Cached is true.
 type CellResult struct {
 	Workload string  `json:"workload"`
 	Scheme   string  `json:"scheme"`
 	Speedup  float64 `json:"speedup,omitempty"`
+	Seconds  float64 `json:"seconds"`
+	Cached   bool    `json:"cached,omitempty"`
 	experiments.ResultJSON
 }
 
 // SimulateResult aggregates a finished sweep. Speedups and HMeanSpeedup
-// are present when BASE is among the schemes.
+// are present when BASE is among the schemes; Seconds is the sweep's
+// total wall time from dispatch to aggregation.
 type SimulateResult struct {
 	Config       string             `json:"config"`
 	Scale        string             `json:"scale"`
@@ -720,7 +737,19 @@ type SimulateResult struct {
 	Workloads    []string           `json:"workloads"`
 	Schemes      []string           `json:"schemes"`
 	Cells        []CellResult       `json:"cells"`
+	Seconds      float64            `json:"seconds"`
 	HMeanSpeedup map[string]float64 `json:"hmean_speedup,omitempty"`
+}
+
+// simCell is what the simulation-result cache stores: the flattened
+// metrics of one (workload, scale, scheme, config, seed) cell.
+// Sweep-relative fields (speedup, wall time) are recomputed per sweep.
+type simCell struct {
+	res experiments.ResultJSON
+}
+
+func simCellKey(abbr, scale string, sc mapping.Scheme, cfgName string, seed int64) string {
+	return fmt.Sprintf("sim|%s|%s|%s|%s|%d", abbr, scale, sc, cfgName, seed)
 }
 
 func parseSimConfig(name string) (gpusim.Config, string, error) {
@@ -836,57 +865,112 @@ func (s *Service) Simulate(req SimulateRequest) (Job, error) {
 	return created, nil
 }
 
+// runnerPool shares gpusim.Runners (engine slab, request pools, program
+// buffers) across sweep cells. Runner reuse is bit-deterministic — see
+// internal/sim's determinism contract — so cells drawing warm runners
+// produce the same Results as cold ones.
+var runnerPool = sync.Pool{New: func() any { return gpusim.NewRunner() }}
+
+// sharedApp materializes one workload trace at most once per sweep and
+// shares it across that workload's scheme cells. The *trace.App is
+// strictly read-only after Build (gpusim.Runner.Run documents the
+// contract), which is what makes sharing across pool workers safe; the
+// request-count assertion below backstops it.
+type sharedApp struct {
+	once sync.Once
+	app  *trace.App
+	reqs int
+}
+
+func (sa *sharedApp) get(sp workload.Spec, scale workload.Scale) *trace.App {
+	sa.once.Do(func() {
+		sa.app = sp.Build(scale)
+		sa.reqs = sa.app.Requests()
+	})
+	return sa.app
+}
+
 func (s *Service) runSweep(jobID string, specs []workload.Spec, schemes []mapping.Scheme, cfg gpusim.Config, scale workload.Scale, seed int64, result *SimulateResult) {
+	start := time.Now()
 	s.jobs.setRunning(jobID)
 	var (
 		wg       sync.WaitGroup
 		errMu    sync.Mutex
 		firstErr error
 	)
-	for wi, sp := range specs {
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	apps := make([]sharedApp, len(specs))
+submit:
+	for wi := range specs {
+		sa := &apps[wi]
+		sp := specs[wi]
 		for si, sc := range schemes {
-			wi, si, sp, sc := wi, si, sp, sc
+			si, sc := si, sc
 			wg.Add(1)
 			task := func() {
 				defer wg.Done()
+				cellStart := time.Now()
 				defer func() {
 					if r := recover(); r != nil {
-						errMu.Lock()
-						if firstErr == nil {
-							firstErr = fmt.Errorf("simulating %s under %s: %v", sp.Abbr, sc, r)
-						}
-						errMu.Unlock()
+						fail(fmt.Errorf("simulating %s under %s: %v", sp.Abbr, sc, r))
 					}
 				}()
-				// Build per cell: cells of one workload must not share a
-				// trace across goroutines.
-				app := sp.Build(scale)
-				m := mapping.MustNew(sc, cfg.Layout, mapping.Options{Seed: seed})
-				res := gpusim.Run(app, m, cfg)
+				cell, hit, err := s.simCache.GetOrCompute(
+					simCellKey(sp.Abbr, result.Scale, sc, result.Config, seed),
+					func() (*simCell, error) {
+						app := sa.get(sp, scale)
+						m := mapping.MustNew(sc, cfg.Layout, mapping.Options{Seed: seed})
+						r := runnerPool.Get().(*gpusim.Runner)
+						res := r.Run(app, m, cfg)
+						runnerPool.Put(r)
+						// The shared build must come back untouched, or it
+						// would poison this workload's remaining cells and
+						// every later sweep holding the same pointer.
+						if got := sa.app.Requests(); got != sa.reqs {
+							return nil, fmt.Errorf("simulating %s under %s mutated the shared trace: %d requests became %d", sp.Abbr, sc, sa.reqs, got)
+						}
+						return &simCell{res: experiments.FlattenResult(res)}, nil
+					})
+				if err != nil {
+					fail(err)
+					return
+				}
 				result.Cells[wi*len(schemes)+si] = CellResult{
 					Workload:   sp.Abbr,
 					Scheme:     string(sc),
-					ResultJSON: experiments.FlattenResult(res),
+					Seconds:    time.Since(cellStart).Seconds(),
+					Cached:     hit,
+					ResultJSON: cell.res,
 				}
-				s.metrics.cellsSimulated.Add(1)
+				if !hit {
+					s.metrics.cellsSimulated.Add(1)
+				}
 				s.jobs.cellDone(jobID)
 			}
 			if !s.pool.submit(task) {
 				wg.Done()
-				errMu.Lock()
-				if firstErr == nil {
-					firstErr = errors.New("service shutting down")
-				}
-				errMu.Unlock()
+				fail(errors.New("service shutting down"))
+				// The pool only refuses when it is closed; later submits
+				// would just fail the same way, so stop fanning out.
+				break submit
 			}
 		}
 	}
 	wg.Wait()
+	elapsed := time.Since(start)
+	s.metrics.AddSweepSeconds(elapsed)
 	if firstErr != nil {
 		s.metrics.jobsFailed.Add(1)
 		s.jobs.finish(jobID, nil, firstErr)
 		return
 	}
+	result.Seconds = elapsed.Seconds()
 	aggregateSweep(result)
 	s.metrics.jobsDone.Add(1)
 	s.jobs.finish(jobID, result, nil)

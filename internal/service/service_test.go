@@ -419,6 +419,71 @@ func TestSimulateJobLifecycle(t *testing.T) {
 	}
 }
 
+// TestSimulateResultCache pins the simulation-result cache: a repeated
+// sweep serves every cell from cache (Cached=true, hit counters move,
+// no new simulations) with identical metrics, and both sweeps record
+// wall times.
+func TestSimulateResultCache(t *testing.T) {
+	s := New(Config{Workers: 4})
+	defer s.Close()
+
+	req := SimulateRequest{
+		Workloads: []string{"SP", "NW"},
+		Schemes:   []string{"BASE", "PAE"},
+		Scale:     "tiny",
+	}
+	sweep := func() *SimulateResult {
+		t.Helper()
+		job, err := s.Simulate(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := waitJob(t, s, job.ID)
+		if final.Status != JobDone {
+			t.Fatalf("job status = %s (error %q)", final.Status, final.Error)
+		}
+		return final.Result
+	}
+
+	first := sweep()
+	if hits, misses := s.Metrics().SimCacheCounts(); hits != 0 || misses != 4 {
+		t.Fatalf("after cold sweep hits=%d misses=%d, want 0/4", hits, misses)
+	}
+	if first.Seconds <= 0 {
+		t.Error("cold sweep recorded no duration")
+	}
+	for _, c := range first.Cells {
+		if c.Cached {
+			t.Errorf("cold cell %s/%s marked cached", c.Workload, c.Scheme)
+		}
+		if c.Seconds <= 0 {
+			t.Errorf("cold cell %s/%s recorded no wall time", c.Workload, c.Scheme)
+		}
+	}
+
+	second := sweep()
+	if hits, _ := s.Metrics().SimCacheCounts(); hits != 4 {
+		t.Fatalf("after warm sweep hits=%d, want 4", hits)
+	}
+	for i, c := range second.Cells {
+		if !c.Cached {
+			t.Errorf("warm cell %s/%s not served from cache", c.Workload, c.Scheme)
+		}
+		if c.ResultJSON != first.Cells[i].ResultJSON {
+			t.Errorf("warm cell %s/%s metrics differ from cold run", c.Workload, c.Scheme)
+		}
+	}
+	if second.HMeanSpeedup["PAE"] != first.HMeanSpeedup["PAE"] {
+		t.Error("cached sweep changed aggregate speedups")
+	}
+	if s.Metrics().SweepSeconds() <= 0 {
+		t.Error("sweep_seconds metric not accumulated")
+	}
+	if got := s.Metrics().cellsSimulated.Load(); got != 4 {
+		t.Errorf("cells simulated = %d, want 4 (cache hits must not re-simulate)", got)
+	}
+}
+
 func TestSimulateValidation(t *testing.T) {
 	s := New(Config{Workers: 1})
 	defer s.Close()

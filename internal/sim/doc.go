@@ -1,0 +1,38 @@
+// Package sim provides a small deterministic discrete-event simulation
+// kernel: a picosecond-resolution clock, a pooled-event queue,
+// single-server resources, and time-weighted statistics integrators.
+// The whole GPU memory-subsystem model is built on this engine.
+//
+// # Pooled events
+//
+// The engine stores events in a slab of recycled records behind an
+// indexed 4-ary min-heap: scheduling pops a slot off a free list,
+// firing pushes it back, so steady-state event churn performs zero
+// allocations. There are two scheduling APIs:
+//
+//   - At(t, func()) / Schedule(d, func()) — the closure API. Convenient,
+//     but every call site that captures state allocates a closure.
+//   - AtCall(t, h, arg) / ScheduleCall(d, h, arg) — the handler API.
+//     h is a long-lived Handler (typically a package-level function)
+//     and arg a pointer to per-request state, usually itself pooled by
+//     the caller. Nothing on this path allocates.
+//
+// The substrate models (gpu, noc, dram, gpusim) schedule exclusively
+// through the handler API, pooling their per-request records; the
+// closure API remains for tests and cold paths. BenchmarkEngineChurn
+// pins allocs/op at zero for the handler path, and CI fails if it ever
+// regresses.
+//
+// # Determinism contract
+//
+// Every scheduled event carries a monotone sequence number, and the
+// heap orders by (time, sequence): events scheduled for the same
+// instant fire in scheduling order. Pooling does not affect this —
+// record recycling changes which slab slot an event occupies, never its
+// position in the order, and no model behavior depends on object
+// identity. Consequently a simulation is a pure function of its inputs:
+// identical (trace, mapping, config) produce byte-identical results,
+// whether the engine is freshly zero-valued, Reset() for reuse, or
+// handed recycled pool objects. The gpusim determinism regression tests
+// pin all three cases.
+package sim

@@ -1,14 +1,6 @@
-// Package sim provides a small deterministic discrete-event simulation
-// kernel: a picosecond-resolution clock, an event queue, single-server
-// resources, and time-weighted statistics integrators.
-//
-// The whole GPU memory-subsystem model is built on this engine. Events
-// scheduled for the same instant fire in scheduling order, which makes
-// simulations reproducible run to run.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -66,37 +58,37 @@ func (c Clock) Cycles(n int64) Time { return Time(n) * c.Period }
 // ToCycles converts a duration to (possibly fractional) cycles.
 func (c Clock) ToCycles(t Time) float64 { return float64(t) / float64(c.Period) }
 
-type event struct {
+// Handler is a pooled-event callback. Pairing a package-level function
+// (or any long-lived func value) with a pointer-shaped arg schedules
+// with zero allocation: both slot directly into the engine's recycled
+// event records. Closures still work — they just allocate at the
+// caller, which is exactly what the handler API exists to avoid on hot
+// paths.
+type Handler func(arg any)
+
+// eventRec is one slot in the engine's event slab. Records are recycled
+// through a free list, so steady-state scheduling never allocates.
+type eventRec struct {
 	at  Time
 	seq uint64
-	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	h   Handler
+	arg any
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
+//
+// Events live in a slab of recycled records indexed by a 4-ary min-heap
+// of slot numbers, ordered by (time, schedule sequence): events
+// scheduled for the same instant fire in scheduling order, which makes
+// simulations reproducible run to run — see doc.go for the full
+// determinism contract.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	fired  uint64
+	now   Time
+	seq   uint64
+	fired uint64
+	slab  []eventRec
+	free  []int32 // recycled slab slots (LIFO)
+	heap  []int32 // slab indices ordered by (at, seq)
 }
 
 // Now returns the current simulation time.
@@ -106,7 +98,7 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Events() uint64 { return e.fired }
 
 // Pending returns the number of scheduled-but-unfired events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // Schedule runs fn after delay. A negative delay panics: the engine cannot
 // rewrite history.
@@ -117,18 +109,50 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 	e.At(e.now+delay, fn)
 }
 
-// At runs fn at absolute time t (>= Now).
+// At runs fn at absolute time t (>= Now). The closure fn allocates at
+// the caller; hot paths should use AtCall with a pooled arg instead.
 func (e *Engine) At(t Time, fn func()) {
+	e.AtCall(t, callFunc, fn)
+}
+
+// callFunc adapts the closure API onto the handler path. Func values
+// are pointer-shaped, so boxing fn into arg does not allocate.
+func callFunc(arg any) { arg.(func())() }
+
+// ScheduleCall runs h(arg) after delay; the handler-style twin of
+// Schedule.
+func (e *Engine) ScheduleCall(delay Time, h Handler, arg any) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	e.AtCall(e.now+delay, h, arg)
+}
+
+// AtCall runs h(arg) at absolute time t (>= Now). With a long-lived h
+// and a pooled arg this is the zero-allocation scheduling path: the
+// event record comes from the engine's free list and returns to it when
+// the event fires.
+func (e *Engine) AtCall(t Time, h Handler, arg any) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		idx = int32(len(e.slab))
+		e.slab = append(e.slab, eventRec{})
+	}
+	r := &e.slab[idx]
+	r.at, r.seq, r.h, r.arg = t, e.seq, h, arg
+	e.push(idx)
 }
 
 // Run executes events until the queue drains and returns the final time.
 func (e *Engine) Run() Time {
-	for len(e.events) > 0 {
+	for len(e.heap) > 0 {
 		e.step()
 	}
 	return e.now
@@ -138,8 +162,8 @@ func (e *Engine) Run() Time {
 // the queue drained, false if the deadline was hit first. Time advances to
 // min(deadline, last event time).
 func (e *Engine) RunUntil(deadline Time) bool {
-	for len(e.events) > 0 {
-		if e.events[0].at > deadline {
+	for len(e.heap) > 0 {
+		if e.slab[e.heap[0]].at > deadline {
 			e.now = deadline
 			return false
 		}
@@ -148,11 +172,91 @@ func (e *Engine) RunUntil(deadline Time) bool {
 	return true
 }
 
+// Reset returns the engine to time zero with an empty queue, keeping
+// the slab, free-list and heap capacity for reuse. Any still-pending
+// events are dropped. A Reset engine behaves exactly like a zero-value
+// Engine, so a reused engine reproduces a fresh engine's run bit for
+// bit (the determinism regression tests pin this).
+func (e *Engine) Reset() {
+	for i := range e.slab {
+		e.slab[i].h, e.slab[i].arg = nil, nil
+	}
+	e.slab = e.slab[:0]
+	e.free = e.free[:0]
+	e.heap = e.heap[:0]
+	e.now, e.seq, e.fired = 0, 0, 0
+}
+
+// step fires the earliest event. The slot is recycled before the
+// handler runs so the handler's own scheduling can reuse it.
 func (e *Engine) step() {
-	ev := heap.Pop(&e.events).(event)
-	e.now = ev.at
+	idx := e.pop()
+	r := &e.slab[idx]
+	e.now = r.at
+	h, arg := r.h, r.arg
+	r.h, r.arg = nil, nil // drop references so pooled args can be collected
+	e.free = append(e.free, idx)
 	e.fired++
-	ev.fn()
+	h(arg)
+}
+
+// less orders slab records by (time, schedule sequence).
+func (e *Engine) less(a, b int32) bool {
+	ra, rb := &e.slab[a], &e.slab[b]
+	if ra.at != rb.at {
+		return ra.at < rb.at
+	}
+	return ra.seq < rb.seq
+}
+
+// push inserts a slab index into the 4-ary heap. A 4-ary layout halves
+// tree depth versus binary, and sift costs stay cheap because the
+// comparator only touches two slab records per level.
+func (e *Engine) push(idx int32) {
+	e.heap = append(e.heap, idx)
+	i := len(e.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !e.less(e.heap[i], e.heap[p]) {
+			break
+		}
+		e.heap[i], e.heap[p] = e.heap[p], e.heap[i]
+		i = p
+	}
+}
+
+// pop removes and returns the minimum slab index.
+func (e *Engine) pop() int32 {
+	h := e.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	e.heap = h[:last]
+	h = e.heap
+	n := last
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if e.less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !e.less(h[best], h[i]) {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	return top
 }
 
 // Server models a single resource that serves one request at a time in

@@ -16,34 +16,45 @@ package trace
 // transactions of tb at the given line size. Transaction addresses are
 // line-aligned. Order of first touch is preserved.
 func CoalesceTB(tb *TB, lineBytes int) TB {
-	out := TB{ID: tb.ID}
+	var out TB
+	CoalesceTBInto(&out, tb, lineBytes)
+	return out
+}
+
+// CoalesceTBInto coalesces tb into dst, reusing dst's request slice.
+// The simulator calls this once per TB launch with a per-runner scratch
+// TB, so the hot path does not allocate once the scratch has grown to
+// the largest TB seen.
+func CoalesceTBInto(dst *TB, tb *TB, lineBytes int) {
+	dst.ID = tb.ID
+	dst.Requests = dst.Requests[:0]
 	if lineBytes <= 0 {
 		lineBytes = 128
 	}
 	mask := ^uint64(lineBytes - 1)
 	i := 0
 	reqs := tb.Requests
-	var lines []uint64
 	for i < len(reqs) {
 		j := i
 		for j < len(reqs) && reqs[j].Warp == reqs[i].Warp && reqs[j].Kind == reqs[i].Kind {
 			j++
 		}
-		lines = lines[:0]
+		// Dedup within the warp-instruction by scanning the group's own
+		// output tail — group sizes are warp-bounded (≤32), so the scan
+		// beats allocating a set.
+		groupStart := len(dst.Requests)
 	dedup:
 		for _, r := range reqs[i:j] {
 			la := r.Addr & mask
-			for _, seen := range lines {
-				if seen == la {
+			for _, seen := range dst.Requests[groupStart:] {
+				if seen.Addr == la {
 					continue dedup
 				}
 			}
-			lines = append(lines, la)
-			out.Requests = append(out.Requests, Request{Addr: la, Kind: reqs[i].Kind, Warp: reqs[i].Warp})
+			dst.Requests = append(dst.Requests, Request{Addr: la, Kind: reqs[i].Kind, Warp: reqs[i].Warp})
 		}
 		i = j
 	}
-	return out
 }
 
 // CoalesceKernel coalesces every TB of a kernel.

@@ -66,6 +66,13 @@ func (k *Kernel) Requests() int {
 }
 
 // App is a complete application trace.
+//
+// An App is immutable once built: every consumer — the entropy
+// analyzer, gpusim.Runner.Run, the service's sweep cells — treats it as
+// strictly read-only, which is what lets one build be shared across
+// concurrent simulations (the service builds each workload trace once
+// per sweep and hands the same pointer to every scheme cell; gpusim's
+// TestRunLeavesTraceUntouched pins the contract).
 type App struct {
 	// Name is the full benchmark name, Abbr the paper's abbreviation.
 	Name string

@@ -301,6 +301,15 @@ func Simulate(app *App, m Mapper, cfg SimConfig) SimResult {
 	return gpusim.Run(app, m, cfg)
 }
 
+// SimRunner owns reusable simulation state (event-engine slab, request
+// pools, program buffers). Callers running many simulations back to
+// back should reuse one SimRunner per goroutine: results are
+// bit-identical to fresh runs, at a fraction of the allocations.
+type SimRunner = gpusim.Runner
+
+// NewSimRunner returns an empty SimRunner.
+func NewSimRunner() *SimRunner { return gpusim.NewRunner() }
+
 // ---------------------------------------------------------------------
 // Experiments (Section VI)
 // ---------------------------------------------------------------------
