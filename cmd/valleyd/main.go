@@ -5,14 +5,17 @@
 //
 // Usage:
 //
-//	valleyd [-addr :8080] [-workers N] [-queue 256] [-cache 512] [-max-trace-bytes N]
+//	valleyd [-addr :8080] [-workers N] [-queue 256] [-cache 512] [-sim-cache 256]
+//	        [-max-trace-bytes N] [-snapshot PATH] [-snapshot-interval 5m]
 //
 // Endpoints:
 //
-//	POST /v1/profile   {"workload":"MT","scale":"tiny"}  or a text/csv trace body
-//	POST /v1/advise    {"workload":"MT"}                 recommended PAE/FAE/ALL BIM
-//	POST /v1/simulate  {"set":"valley","scale":"tiny"}   returns 202 + job id
-//	GET  /v1/jobs/{id}                                   poll the sweep
+//	POST /v1/profile          {"workload":"MT","scale":"tiny"}  or a text/csv trace body
+//	POST /v1/advise           {"workload":"MT"}                 recommended PAE/FAE/ALL BIM
+//	POST /v1/simulate         {"set":"valley","scale":"tiny"}   returns 202 + job id
+//	POST /v1/simulate?stream=1                                  streams NDJSON cell events live
+//	GET  /v1/jobs/{id}                                          poll the sweep
+//	GET  /v1/jobs/{id}/events                                   stream job events (?from=seq resumes)
 //	GET  /healthz
 //	GET  /metrics
 //
@@ -20,6 +23,11 @@
 // memory per request, so the body cap (413 limit) defaults to 256 MiB —
 // it bounds bandwidth, not memory — and can be raised further with
 // -max-trace-bytes.
+//
+// With -snapshot, the simulation-result cache is durable: valleyd loads
+// the snapshot file on startup and rewrites it every -snapshot-interval
+// and on shutdown, so a restarted daemon answers repeat sweeps from
+// cache (cells report "cached": true) instead of re-simulating.
 package main
 
 import (
@@ -41,7 +49,10 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "worker-pool queue depth (0 = 256)")
 	cacheEntries := flag.Int("cache", 0, "profile-cache entries (0 = 512)")
+	simCacheEntries := flag.Int("sim-cache", 0, "simulation-result cache entries (0 = 256)")
 	maxTraceBytes := flag.Int64("max-trace-bytes", 0, "uploaded trace body cap in bytes (0 = 256 MiB; uploads stream, so this bounds bandwidth, not memory)")
+	snapshot := flag.String("snapshot", "", "simulation-cache snapshot file (empty = no persistence); loaded on startup, written periodically and on shutdown")
+	snapshotInterval := flag.Duration("snapshot-interval", 0, "time between periodic snapshot writes (0 = 5m; negative = only on shutdown)")
 	verbose := flag.Bool("v", false, "debug logging")
 	flag.Parse()
 
@@ -53,10 +64,13 @@ func main() {
 	slog.SetDefault(logger)
 
 	svc := valleymap.NewService(valleymap.ServiceConfig{
-		Workers:       *workers,
-		QueueDepth:    *queue,
-		CacheEntries:  *cacheEntries,
-		MaxTraceBytes: *maxTraceBytes,
+		Workers:                  *workers,
+		QueueDepth:               *queue,
+		CacheEntries:             *cacheEntries,
+		SimCacheEntries:          *simCacheEntries,
+		MaxTraceBytes:            *maxTraceBytes,
+		SimCacheSnapshot:         *snapshot,
+		SimCacheSnapshotInterval: *snapshotInterval,
 	})
 	defer svc.Close()
 

@@ -1,0 +1,131 @@
+// Sweepstream is a streaming sweep client for valleyd: it submits a
+// workload × scheme simulation sweep with POST /v1/simulate?stream=1
+// and prints each cell the moment the server finishes it, instead of
+// polling /v1/jobs/{id} until the whole sweep is done.
+//
+// By default it starts an embedded valleyd on a loopback port and runs
+// the sweep twice — the second pass is served entirely from the
+// simulation-result cache — so it works standalone:
+//
+//	go run ./examples/sweepstream
+//
+// Point it at a running daemon with -addr:
+//
+//	valleyd -addr :8080 &
+//	go run ./examples/sweepstream -addr http://localhost:8080
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+
+	"valleymap"
+)
+
+func main() {
+	addr := flag.String("addr", "", "valleyd base URL (empty = run an embedded service)")
+	workloads := flag.String("workloads", "MT,LU,SC,SP", "comma-separated Table II abbreviations")
+	schemes := flag.String("schemes", "BASE,PM,PAE,FAE", "comma-separated mapping schemes")
+	scale := flag.String("scale", "tiny", "trace scale: tiny, small, full")
+	flag.Parse()
+
+	base := *addr
+	embedded := base == ""
+	if embedded {
+		svc := valleymap.NewService(valleymap.ServiceConfig{})
+		defer svc.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go http.Serve(ln, svc.Handler()) //nolint:errcheck // dies with the process
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("embedded valleyd on %s\n\n", base)
+	}
+
+	body, err := json.Marshal(valleymap.ServiceSimulateRequest{
+		Workloads: strings.Split(*workloads, ","),
+		Schemes:   strings.Split(*schemes, ","),
+		Scale:     *scale,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := streamSweep(base, body); err != nil {
+		log.Fatal(err)
+	}
+	if embedded {
+		fmt.Println("\nsame sweep again — every cell now comes from the simulation-result cache:")
+		if err := streamSweep(base, body); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// streamSweep runs one streaming sweep, rendering NDJSON events as they
+// arrive.
+func streamSweep(base string, body []byte) error {
+	resp, err := http.Post(base+"/v1/simulate?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("simulate: %s: %s", resp.Status, msg)
+	}
+
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev valleymap.ServiceJobEvent
+		if err := dec.Decode(&ev); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return fmt.Errorf("decoding event stream: %w", err)
+		}
+		switch ev.Type {
+		case valleymap.ServiceEventStart:
+			fmt.Printf("%s: %d cells\n", ev.JobID, ev.Total)
+		case valleymap.ServiceEventCell:
+			c := ev.Cell
+			cached := ""
+			if c.Cached {
+				cached = "  (cached)"
+			}
+			fmt.Printf("  [%2d/%2d] %-4s x %-4s  exec %8.3f ms  wall %8.2f ms%s\n",
+				ev.Done, ev.Total, c.Workload, c.Scheme,
+				float64(c.ExecTimePS)/1e9, c.Seconds*1e3, cached)
+		case valleymap.ServiceEventDone:
+			fmt.Printf("done in %.2f s\n", ev.Result.Seconds)
+			printHMeans(os.Stdout, ev.Result.HMeanSpeedup)
+		case valleymap.ServiceEventFailed:
+			return fmt.Errorf("sweep failed: %s", ev.Error)
+		}
+	}
+}
+
+func printHMeans(w io.Writer, hm map[string]float64) {
+	if len(hm) == 0 {
+		return
+	}
+	schemes := make([]string, 0, len(hm))
+	for sc := range hm {
+		schemes = append(schemes, sc)
+	}
+	sort.Strings(schemes)
+	fmt.Fprint(w, "harmonic-mean speedup vs BASE:")
+	for _, sc := range schemes {
+		fmt.Fprintf(w, "  %s %.3fx", sc, hm[sc])
+	}
+	fmt.Fprintln(w)
+}

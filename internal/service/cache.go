@@ -1,136 +1,24 @@
 package service
 
 import (
-	"container/list"
-	"fmt"
-	"sync"
+	"valleymap/internal/cache"
 )
 
-// lruCache is a content-addressed LRU cache with in-flight request
-// coalescing: concurrent lookups for the same key share one computation
-// (the first caller computes, the rest block on it and count as hits),
-// so a burst of identical requests costs one computation. It backs both
-// the profile cache and the simulation-result cache; keys encode the
-// input identity plus every option that affects the result.
-type lruCache[V any] struct {
-	mu       sync.Mutex
-	capacity int
-	ll       *list.List // front = most recently used
-	items    map[string]*list.Element
-	inflight map[string]*flight[V]
-	// onHit / onMiss observe lookup outcomes (may be nil).
-	onHit, onMiss func()
-}
-
-type cacheEntry[V any] struct {
-	key string
-	val V
-}
-
-type flight[V any] struct {
-	done chan struct{}
-	val  V
-	err  error
-}
-
-func newLRUCache[V any](capacity int, onHit, onMiss func()) *lruCache[V] {
-	if capacity < 1 {
-		capacity = 1
-	}
-	return &lruCache[V]{
-		capacity: capacity,
-		ll:       list.New(),
-		items:    map[string]*list.Element{},
-		inflight: map[string]*flight[V]{},
-		onHit:    onHit,
-		onMiss:   onMiss,
-	}
-}
-
-// Len returns the number of resident entries.
-func (c *lruCache[V]) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
-}
-
-// GetOrCompute returns the cached value for key, or runs fn once to
-// produce it. hit is true when the value came from the cache or from
-// joining another caller's in-flight computation. Errors are not cached.
-func (c *lruCache[V]) GetOrCompute(key string, fn func() (V, error)) (val V, hit bool, err error) {
-	c.mu.Lock()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		v := el.Value.(*cacheEntry[V]).val
-		c.mu.Unlock()
-		if c.onHit != nil {
-			c.onHit()
-		}
-		return v, true, nil
-	}
-	if f, ok := c.inflight[key]; ok {
-		c.mu.Unlock()
-		<-f.done
-		if f.err != nil {
-			var zero V
-			return zero, false, f.err
-		}
-		if c.onHit != nil {
-			c.onHit()
-		}
-		return f.val, true, nil
-	}
-	f := &flight[V]{done: make(chan struct{})}
-	c.inflight[key] = f
-	c.mu.Unlock()
-
-	// A panicking computation must still unregister the flight and close
-	// done, or every later lookup of this key would block forever.
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				f.err = fmt.Errorf("service: cached computation panicked: %v", r)
-			}
-		}()
-		f.val, f.err = fn()
-	}()
-
-	c.mu.Lock()
-	delete(c.inflight, key)
-	if f.err == nil {
-		c.insertLocked(key, f.val)
-	}
-	c.mu.Unlock()
-	close(f.done)
-
-	// A failed computation was never cacheable; counting it as a miss
-	// would make client errors read as cache-sizing trouble in /metrics.
-	if f.err == nil && c.onMiss != nil {
-		c.onMiss()
-	}
-	return f.val, false, f.err
-}
-
-func (c *lruCache[V]) insertLocked(key string, val V) {
-	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry[V]).val = val
-		c.ll.MoveToFront(el)
-		return
-	}
-	c.items[key] = c.ll.PushFront(&cacheEntry[V]{key: key, val: val})
-	for c.ll.Len() > c.capacity {
-		old := c.ll.Back()
-		c.ll.Remove(old)
-		delete(c.items, old.Value.(*cacheEntry[V]).key)
-	}
-}
+// Both service caches are instances of the generic content-addressed
+// LRU with in-flight request coalescing (internal/cache.LRU); keys
+// encode the input identity plus every option that affects the result.
 
 // profileCache is the entropy-profile LRU (content-addressed by trace
-// identity + analysis options).
-type profileCache = lruCache[*ProfileResult]
+// identity + analysis options). Profiles all cost roughly the same to
+// recompute per byte held, so it keeps exact LRU eviction (no weigher).
+type profileCache = cache.LRU[*ProfileResult]
 
 func newProfileCache(capacity int, m *Metrics) *profileCache {
-	c := newLRUCache[*ProfileResult](capacity, m.CacheHit, m.CacheMiss)
+	c := cache.NewLRU(cache.LRUOptions[*ProfileResult]{
+		Capacity: capacity,
+		OnHit:    m.CacheHit,
+		OnMiss:   m.CacheMiss,
+	})
 	m.cacheLen = c.Len
 	return c
 }
@@ -139,10 +27,28 @@ func newProfileCache(capacity int, m *Metrics) *profileCache {
 // coordinates (workload, scale, scheme, config, seed). Entries are the
 // flattened metric set; sweep-relative fields (speedup, wall time) are
 // recomputed per sweep.
-type simCache = lruCache[*simCell]
+//
+// Unlike profiles, sweep cells differ in recompute cost by orders of
+// magnitude (a full-scale 3D sweep cell vs a tiny BASE cell), so the
+// cache evicts cost-aware: each cell carries its measured simulation
+// seconds as weight, and among the least-recently-used entries the
+// cheapest-per-byte is dropped first.
+type simCache = cache.LRU[*simCell]
+
+// simCellBytes approximates a resident cell's footprint: the flattened
+// metric struct plus key and bookkeeping. Cells are near-constant size,
+// so Cost/Bytes ordering is dominated by the measured seconds.
+const simCellBytes = 512
 
 func newSimCache(capacity int, m *Metrics) *simCache {
-	c := newLRUCache[*simCell](capacity, m.SimCacheHit, m.SimCacheMiss)
+	c := cache.NewLRU(cache.LRUOptions[*simCell]{
+		Capacity: capacity,
+		OnHit:    m.SimCacheHit,
+		OnMiss:   m.SimCacheMiss,
+		Weigh: func(c *simCell) cache.Weight {
+			return cache.Weight{Cost: c.Seconds, Bytes: simCellBytes}
+		},
+	})
 	m.simCacheLen = c.Len
 	return c
 }

@@ -1,0 +1,50 @@
+// Package service is the engine behind valleyd: it packages the
+// library's entropy profiling, mapping advice and full-system simulation
+// as a concurrent, cached network service. The building blocks are a
+// content-addressed LRU profile cache with in-flight coalescing
+// (cache.go, over internal/cache.LRU), a bounded worker pool executing
+// simulation sweep jobs (jobs.go), a per-job event bus streaming sweep
+// progress (events.go), durable snapshots of the simulation-result
+// cache (snapshot.go), and a stdlib net/http JSON API over all of it
+// (http.go), with Prometheus-style plain-text metrics (metrics.go).
+//
+// # Streaming sweeps
+//
+// A simulation sweep is asynchronous: POST /v1/simulate returns 202
+// with a job handle, and clients may poll GET /v1/jobs/{id}. Polling
+// only observes whole-sweep completion, so every running job also
+// publishes events on a per-job bus:
+//
+//	start                       the job was accepted (seq 0)
+//	cell × total_cells          one per finished workload × scheme cell
+//	done | failed               terminal; done carries the aggregate
+//
+// Two endpoints expose the stream as NDJSON (one JSON event per line,
+// flushed as published): POST /v1/simulate?stream=1 submits and streams
+// in one request, and GET /v1/jobs/{id}/events attaches to any retained
+// job — ?from=seq resumes after a disconnect, replaying retained events
+// with Seq >= from before tailing live.
+//
+// Event-ordering guarantee: events carry a dense, ascending Seq; every
+// cell event is published before the terminal event; and a subscriber
+// observes its events in Seq order with no duplicates and no gaps. A
+// streaming client therefore always sees the first finished cell
+// strictly before the job reports done. Fan-out to subscribers uses
+// bounded buffers: a consumer that falls behind the live tail costs a
+// wakeup drop (counted in valleyd_stream_events_dropped_total) and
+// catches up from the retained per-job log, never losing an event.
+//
+// # Durable simulation cache
+//
+// Sweep cells are pure functions of (workload, scale, scheme, config,
+// seed) and expensive to compute, so the simulation-result cache is
+// both cost-aware and durable. Eviction is cost-weighted: each cell
+// carries its measured simulation seconds, and among the
+// least-recently-used entries the cheapest-per-byte is evicted first,
+// so one order-of-magnitude-more-expensive cell outlives a crowd of
+// trivial ones. With Config.SimCacheSnapshot set, the cache is written
+// to a versioned, checksummed snapshot file periodically and on Close,
+// and loaded on New — a restarted valleyd answers repeat sweeps from
+// cache (cells report "cached": true). Snapshots that fail validation
+// (truncated, corrupt, wrong version) load as a clean empty cache.
+package service

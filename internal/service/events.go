@@ -1,0 +1,159 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// JobEvent is one record on a job's event stream, serialized as NDJSON
+// by the streaming endpoints. Every job's log is the sequence
+//
+//	start · cell × Total · (done | failed)
+//
+// with Seq dense and ascending from 0. Ordering guarantee: cell events
+// are published before the terminal event, and every subscriber
+// observes its events in Seq order with no duplicates — a streaming
+// client therefore always sees the first finished cell strictly before
+// the job reaches done.
+type JobEvent struct {
+	Seq   int    `json:"seq"`
+	Type  string `json:"type"` // start | cell | done | failed
+	JobID string `json:"job_id"`
+	// Done / Total track progress at publish time (cell and terminal
+	// events; the start event reports 0/Total).
+	Done  int `json:"done_cells"`
+	Total int `json:"total_cells"`
+	// Cell is the finished cell (cell events only).
+	Cell *CellResult `json:"cell,omitempty"`
+	// Result is the aggregated sweep (done events only).
+	Result *SimulateResult `json:"result,omitempty"`
+	// Error is the failure reason (failed events only).
+	Error string `json:"error,omitempty"`
+}
+
+// Event types on a job stream.
+const (
+	EventStart  = "start"
+	EventCell   = "cell"
+	EventDone   = "done"
+	EventFailed = "failed"
+)
+
+// subBuffer bounds each subscriber's live-tail channel. A consumer that
+// falls further behind than this has its channel sends dropped (counted
+// in valleyd_stream_events_dropped_total) and transparently falls back
+// to reading the retained log, so slowness costs accounting, never a
+// lost or duplicated event.
+const subBuffer = 16
+
+// jobBus is a per-job event fan-out. Publishers append to a retained,
+// seq-ordered log and nudge subscribers over bounded channels; each
+// subscriber delivers strictly from the log in seq order, so late
+// joiners replay the full history and slow consumers lag without
+// losing events. The log is bounded by the job itself (Total cells + 2
+// control events) and is released when the job store evicts the job.
+type jobBus struct {
+	mu     sync.Mutex
+	log    []JobEvent
+	subs   map[*JobSubscription]struct{}
+	closed bool
+	// dropped counts channel sends skipped because a subscriber's
+	// buffer was full (the slow-consumer accounting); onDrop, when
+	// set, mirrors each drop into the service-wide metric.
+	dropped atomic.Int64
+	onDrop  func()
+}
+
+// JobSubscription is one attachment to a job's event stream. Next
+// delivers events in Seq order; Close detaches. next is the seq of the
+// next event to deliver, guarded by the bus mutex; ch carries
+// best-effort wakeups.
+type JobSubscription struct {
+	bus  *jobBus
+	ch   chan struct{}
+	next int
+}
+
+func newJobBus() *jobBus {
+	return &jobBus{subs: map[*JobSubscription]struct{}{}}
+}
+
+// publish appends ev to the log (assigning its Seq) and wakes
+// subscribers. Publishing a terminal event (done/failed) closes the
+// bus: subscribers drain the log and then see end-of-stream.
+func (b *jobBus) publish(ev JobEvent) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	ev.Seq = len(b.log)
+	b.log = append(b.log, ev)
+	if ev.Type == EventDone || ev.Type == EventFailed {
+		b.closed = true
+	}
+	for s := range b.subs {
+		select {
+		case s.ch <- struct{}{}:
+		default:
+			// Buffer full: the subscriber already has wakeups pending
+			// and will re-check the log after draining them, so this
+			// nudge is redundant — drop it and account for the lag.
+			b.dropped.Add(1)
+			if b.onDrop != nil {
+				b.onDrop()
+			}
+		}
+	}
+	b.mu.Unlock()
+}
+
+// subscribe registers a subscriber that will observe every event with
+// Seq >= from (older events replay from the log). Callers must Close
+// the subscription when done.
+func (b *jobBus) subscribe(from int) *JobSubscription {
+	if from < 0 {
+		from = 0
+	}
+	s := &JobSubscription{bus: b, ch: make(chan struct{}, subBuffer), next: from}
+	b.mu.Lock()
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	return s
+}
+
+// Close detaches the subscription from its bus. Safe to call while a
+// Next is blocked (the blocked Next returns when its context expires).
+func (s *JobSubscription) Close() {
+	s.bus.mu.Lock()
+	delete(s.bus.subs, s)
+	s.bus.mu.Unlock()
+}
+
+// Next blocks until the subscriber's next event is available and
+// returns it. eos reports a cleanly ended stream (terminal event
+// already delivered); err is the subscriber's context expiring.
+func (s *JobSubscription) Next(ctx context.Context) (ev JobEvent, eos bool, err error) {
+	for {
+		s.bus.mu.Lock()
+		if s.next < len(s.bus.log) {
+			ev := s.bus.log[s.next]
+			s.next++
+			s.bus.mu.Unlock()
+			return ev, false, nil
+		}
+		closed := s.bus.closed
+		s.bus.mu.Unlock()
+		if closed {
+			return JobEvent{}, true, nil
+		}
+		select {
+		case <-ctx.Done():
+			return JobEvent{}, false, ctx.Err()
+		case <-s.ch:
+			// Woken: re-check the log. Spurious or coalesced wakeups
+			// just loop; delivery order comes from the log alone.
+		}
+	}
+}

@@ -1,0 +1,367 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// collectEvents drains an NDJSON event stream into a slice.
+func collectEvents(t *testing.T, r io.Reader) []JobEvent {
+	t.Helper()
+	var evs []JobEvent
+	dec := json.NewDecoder(r)
+	for {
+		var ev JobEvent
+		if err := dec.Decode(&ev); err == io.EOF {
+			return evs
+		} else if err != nil {
+			t.Fatalf("decoding event stream: %v", err)
+		}
+		evs = append(evs, ev)
+	}
+}
+
+// checkTranscript asserts the stream contract: dense ascending seq
+// starting at from, start/cell/done shape, monotonic done_cells, and
+// every cell strictly before the terminal event.
+func checkTranscript(t *testing.T, evs []JobEvent, from, totalCells int) {
+	t.Helper()
+	if len(evs) == 0 {
+		t.Fatal("empty transcript")
+	}
+	lastDone := -1
+	cells := 0
+	for i, ev := range evs {
+		if ev.Seq != from+i {
+			t.Fatalf("event %d has seq %d, want dense ascending from %d", i, ev.Seq, from)
+		}
+		switch ev.Type {
+		case EventStart:
+			if ev.Seq != 0 {
+				t.Errorf("start event at seq %d, want 0", ev.Seq)
+			}
+		case EventCell:
+			cells++
+			if ev.Cell == nil {
+				t.Fatalf("cell event %d has no cell", i)
+			}
+			if ev.Done <= lastDone {
+				t.Errorf("done_cells went %d -> %d at seq %d", lastDone, ev.Done, ev.Seq)
+			}
+			lastDone = ev.Done
+			if i == len(evs)-1 {
+				t.Error("stream ended on a cell event; terminal event missing")
+			}
+		case EventDone, EventFailed:
+			if i != len(evs)-1 {
+				t.Fatalf("terminal event at index %d of %d — cells after done", i, len(evs))
+			}
+		default:
+			t.Fatalf("unknown event type %q", ev.Type)
+		}
+	}
+	if from == 0 && cells != totalCells {
+		t.Errorf("saw %d cell events, want %d", cells, totalCells)
+	}
+}
+
+// TestStreamingSimulate covers the acceptance criterion: a streaming
+// client observes the first cell result strictly before the job reaches
+// done.
+func TestStreamingSimulate(t *testing.T) {
+	svc, ts := newTestServer(t)
+
+	resp := postJSON(t, ts.URL+"/v1/simulate?stream=1", SimulateRequest{
+		Workloads: []string{"SP", "NW"},
+		Schemes:   []string{"BASE", "PAE"},
+		Scale:     "tiny",
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d, want 200: %s", resp.StatusCode, b)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+
+	// Read incrementally: at the moment the first cell record arrives,
+	// the job must not yet report done — the strictly-before guarantee.
+	br := bufio.NewReader(resp.Body)
+	var evs []JobEvent
+	sawCellBeforeDone := false
+	for {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ev JobEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		evs = append(evs, ev)
+		if ev.Type == EventCell && !sawCellBeforeDone {
+			sawCellBeforeDone = true
+			if j, ok := svc.Job(ev.JobID); ok && j.Status == JobDone {
+				// The stream delivered the cell only after the job
+				// finished end to end — the ordering guarantee held on
+				// the wire regardless, but flag sequencing bugs where
+				// cells are published late.
+				t.Log("job already done when first cell arrived (slow reader; wire order still verified below)")
+			}
+		}
+	}
+	if !sawCellBeforeDone {
+		t.Fatal("no cell event before end of stream")
+	}
+	checkTranscript(t, evs, 0, 4)
+	if last := evs[len(evs)-1]; last.Type != EventDone || last.Result == nil || len(last.Result.Cells) != 4 {
+		t.Fatalf("terminal event %+v, want done with 4 cells", last)
+	}
+}
+
+// TestJobEventsEndpoint: late subscribers replay the full retained log,
+// and ?from=seq resumes mid-stream without duplicates.
+func TestJobEventsEndpoint(t *testing.T) {
+	svc, ts := newTestServer(t)
+
+	job, err := svc.Simulate(SimulateRequest{Workloads: []string{"SP"}, Schemes: []string{"BASE", "PAE"}, Scale: "tiny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, svc, job.ID)
+
+	// Full replay after completion.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := collectEvents(t, resp.Body)
+	resp.Body.Close()
+	checkTranscript(t, evs, 0, 2)
+
+	// Resume from the second half: no duplicates of what came before.
+	from := len(evs) - 2
+	resp2, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/events?from=%d", ts.URL, job.ID, from))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := collectEvents(t, resp2.Body)
+	resp2.Body.Close()
+	checkTranscript(t, tail, from, 2)
+	if len(tail) != 2 {
+		t.Fatalf("resumed tail has %d events, want 2", len(tail))
+	}
+
+	// Unknown job and bad from are client errors.
+	nf, _ := http.Get(ts.URL + "/v1/jobs/job-424242/events")
+	if nf.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job events status = %d, want 404", nf.StatusCode)
+	}
+	nf.Body.Close()
+	bad, _ := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/events?from=minus")
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad from status = %d, want 400", bad.StatusCode)
+	}
+	bad.Body.Close()
+}
+
+// TestJobEventsInProcess drives the Service.JobEvents embedder API and
+// the slow-consumer drop accounting.
+func TestJobEventsInProcess(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+
+	job, err := s.Simulate(SimulateRequest{Workloads: []string{"SP"}, Schemes: []string{"BASE"}, Scale: "tiny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, ok := s.JobEvents(job.ID, 0)
+	if !ok {
+		t.Fatal("subscription refused")
+	}
+	defer sub.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	var evs []JobEvent
+	for {
+		ev, eos, err := sub.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eos {
+			break
+		}
+		evs = append(evs, ev)
+	}
+	checkTranscript(t, evs, 0, 1)
+
+	// On a finished job, subscribing past the log reports a clean
+	// end-of-stream rather than blocking forever.
+	sub2, _ := s.JobEvents(job.ID, len(evs)+100)
+	defer sub2.Close()
+	if _, eos, err := sub2.Next(ctx); !eos || err != nil {
+		t.Errorf("past-the-log read on finished job: eos=%v err=%v, want clean EOS", eos, err)
+	}
+
+	// On a live job, a canceled context unblocks a waiting Next.
+	js := newJobStore(4)
+	live, err := js.create("simulate", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub3, _ := js.subscribe(live.ID, 1) // start event is seq 0; wait for more
+	defer sub3.Close()
+	cctx, ccancel := context.WithCancel(context.Background())
+	ccancel()
+	if _, _, err := sub3.Next(cctx); err == nil {
+		t.Error("Next with canceled context must return its error")
+	}
+}
+
+// TestStreamingDeliveryIsLive proves events reach the client the
+// moment they are published, not when the job finishes: with the job
+// held open, each published event must arrive over HTTP within the
+// read deadline while the job is still unfinished. This is the
+// wire-level form of the "first cell strictly before done" guarantee,
+// and it fails if response flushing ever breaks (e.g. a middleware
+// wrapper hiding the Flusher).
+func TestStreamingDeliveryIsLive(t *testing.T) {
+	svc, ts := newTestServer(t)
+	job, err := svc.jobs.create("simulate", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A bounded client: if response headers never arrive (a broken
+	// flush buffers them until the handler returns, which on an open
+	// job is never), the test fails in seconds instead of hanging.
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(ts.URL + "/v1/jobs/" + job.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	type line struct {
+		ev  JobEvent
+		err error
+	}
+	lines := make(chan line)
+	go func() {
+		defer close(lines)
+		br := bufio.NewReader(resp.Body)
+		for {
+			raw, err := br.ReadBytes('\n')
+			if err != nil {
+				if err != io.EOF {
+					lines <- line{err: err}
+				}
+				return
+			}
+			var ev JobEvent
+			if err := json.Unmarshal(raw, &ev); err != nil {
+				lines <- line{err: err}
+				return
+			}
+			lines <- line{ev: ev}
+		}
+	}()
+	readLive := func(wantType string) JobEvent {
+		t.Helper()
+		select {
+		case l, ok := <-lines:
+			if !ok || l.err != nil {
+				t.Fatalf("stream ended early (err=%v) waiting for %q", l.err, wantType)
+			}
+			if l.ev.Type != wantType {
+				t.Fatalf("got %q event, want %q", l.ev.Type, wantType)
+			}
+			return l.ev
+		case <-time.After(5 * time.Second):
+			t.Fatalf("no %q event arrived while the job was still open — events are not flushed live", wantType)
+		}
+		panic("unreachable")
+	}
+
+	readLive(EventStart)
+	svc.jobs.cellDone(job.ID, CellResult{Workload: "SP", Scheme: "BASE"})
+	ev := readLive(EventCell)
+	if j, _ := svc.Job(job.ID); j.Status == JobDone {
+		t.Error("job reported done before its terminal event")
+	}
+	if ev.Cell == nil || ev.Cell.Workload != "SP" {
+		t.Errorf("cell event payload %+v", ev.Cell)
+	}
+	svc.jobs.finish(job.ID, &SimulateResult{}, nil)
+	readLive(EventDone)
+	if _, ok := <-lines; ok {
+		t.Error("stream did not end after the terminal event")
+	}
+}
+
+// TestEventBusSlowConsumerAccounting: a subscriber that never drains
+// its wakeup channel forces publish-side drops, which are counted but
+// lose nothing — the laggard still reads the full log afterwards.
+func TestEventBusSlowConsumerAccounting(t *testing.T) {
+	m := NewMetrics()
+	js := newJobStore(8)
+	js.onDrop = m.StreamEventDropped
+	j, err := js.create("simulate", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, ok := js.subscribe(j.ID, 0)
+	if !ok {
+		t.Fatal("subscribe failed")
+	}
+	defer sub.Close()
+
+	// Publish far more events than the wakeup buffer holds while the
+	// subscriber sleeps.
+	const n = subBuffer * 4
+	for i := 0; i < n; i++ {
+		js.cellDone(j.ID, CellResult{Workload: "SP", Scheme: "BASE"})
+	}
+	js.finish(j.ID, &SimulateResult{}, nil)
+
+	if got := m.StreamEventsDropped(); got == 0 {
+		t.Error("slow consumer produced no drop accounting")
+	}
+	bus, _ := js.busFor(j.ID)
+	if bus.dropped.Load() != m.StreamEventsDropped() {
+		t.Errorf("bus counted %d drops, metric %d", bus.dropped.Load(), m.StreamEventsDropped())
+	}
+
+	// Despite the drops, the subscriber reads every event exactly once.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var evs []JobEvent
+	for {
+		ev, eos, err := sub.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eos {
+			break
+		}
+		evs = append(evs, ev)
+	}
+	if len(evs) != n+2 { // start + n cells + done
+		t.Fatalf("laggard read %d events, want %d", len(evs), n+2)
+	}
+	for i, ev := range evs {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d — lost or duplicated under lag", i, ev.Seq)
+		}
+	}
+}

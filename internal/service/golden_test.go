@@ -1,0 +1,126 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// secondsRe blanks wall-time fields — the only nondeterministic bytes
+// in a single-worker streaming transcript.
+var secondsRe = regexp.MustCompile(`"seconds":[0-9][0-9.eE+-]*`)
+
+func normalizeTranscript(b []byte) []byte {
+	return secondsRe.ReplaceAll(b, []byte(`"seconds":0`))
+}
+
+// TestGoldenStreamingSweep pins the streaming wire format end to end: a
+// fixed-seed 2×2 sweep over httptest with one worker (deterministic
+// cell order) must produce, byte for byte, the committed NDJSON
+// transcript — event shapes, field names, seq numbering, metric values.
+// Run with -update after an intentional format or simulator change.
+func TestGoldenStreamingSweep(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/v1/simulate?stream=1", SimulateRequest{
+		Workloads: []string{"MT", "SP"},
+		Schemes:   []string{"BASE", "PAE"},
+		Scale:     "tiny",
+		Seed:      1,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d: %s", resp.StatusCode, b)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := normalizeTranscript(raw)
+
+	// Before comparing bytes, hold the transcript to the stream
+	// contract so a stale golden can't bless a broken stream.
+	var evs []JobEvent
+	dec := json.NewDecoder(bytes.NewReader(got))
+	for {
+		var ev JobEvent
+		if err := dec.Decode(&ev); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("transcript is not valid NDJSON: %v", err)
+		}
+		evs = append(evs, ev)
+	}
+	checkTranscript(t, evs, 0, 4)
+
+	goldenPath := filepath.Join("testdata", "stream_golden.ndjson")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s (%d bytes, %d events)", goldenPath, len(got), len(evs))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		gotLines := bytes.Split(got, []byte("\n"))
+		wantLines := bytes.Split(want, []byte("\n"))
+		for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+			var g, w []byte
+			if i < len(gotLines) {
+				g = gotLines[i]
+			}
+			if i < len(wantLines) {
+				w = wantLines[i]
+			}
+			if !bytes.Equal(g, w) {
+				t.Errorf("transcript line %d differs:\n got: %s\nwant: %s", i+1, g, w)
+			}
+		}
+		t.Fatal("streaming transcript drifted from golden (run with -update if intentional)")
+	}
+}
+
+// TestGoldenTranscriptIsFresh guards the golden file itself: it must
+// decode as a valid event stream for the 2×2 sweep, so nobody can
+// hand-edit it into something the contract checker would reject.
+func TestGoldenTranscriptIsFresh(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "stream_golden.ndjson"))
+	if err != nil {
+		t.Skipf("no golden yet: %v", err)
+	}
+	var evs []JobEvent
+	dec := json.NewDecoder(bytes.NewReader(want))
+	for {
+		var ev JobEvent
+		if err := dec.Decode(&ev); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("golden is not valid NDJSON: %v", err)
+		}
+		evs = append(evs, ev)
+	}
+	checkTranscript(t, evs, 0, 4)
+	if terminal := evs[len(evs)-1]; terminal.Result == nil || terminal.Result.HMeanSpeedup["PAE"] <= 0 {
+		t.Error("golden terminal event lost its aggregate speedups")
+	}
+}

@@ -14,18 +14,21 @@ import (
 
 // Handler returns the valleyd HTTP API:
 //
-//	POST /v1/profile   entropy profile (JSON request, or text/csv trace body)
-//	POST /v1/advise    mapping recommendation with predicted entropy gains
-//	POST /v1/simulate  enqueue a workload x scheme sweep job (202)
-//	GET  /v1/jobs/{id} poll a sweep job
-//	GET  /healthz      liveness
-//	GET  /metrics      Prometheus-style plain text
+//	POST /v1/profile          entropy profile (JSON request, or text/csv trace body)
+//	POST /v1/advise           mapping recommendation with predicted entropy gains
+//	POST /v1/simulate         enqueue a workload x scheme sweep job (202);
+//	                          ?stream=1 streams NDJSON events instead (200)
+//	GET  /v1/jobs/{id}        poll a sweep job
+//	GET  /v1/jobs/{id}/events stream the job's events as NDJSON (?from=seq resumes)
+//	GET  /healthz             liveness
+//	GET  /metrics             Prometheus-style plain text
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/profile", s.instrument("/v1/profile", s.handleProfile))
 	mux.HandleFunc("POST /v1/advise", s.instrument("/v1/advise", s.handleAdvise))
 	mux.HandleFunc("POST /v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs", s.handleJob))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("/v1/jobs/events", s.handleJobEvents))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	return mux
@@ -40,6 +43,16 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(code int) {
 	r.code = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer so the NDJSON streaming
+// handlers can push each event to the client as it is published (the
+// embedded-interface promotion would otherwise hide the underlying
+// writer's Flusher from the type assertion in streamEvents).
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 func (s *Service) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
@@ -249,6 +262,11 @@ func (s *Service) handleAdvise(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	stream := r.URL.Query().Get("stream")
+	if stream != "" && stream != "0" && stream != "1" {
+		writeError(w, badRequestf("bad stream %q (want 0 or 1)", stream))
+		return
+	}
 	var req SimulateRequest
 	if err := decodeJSON(r, &req, jsonBodyLimit); err != nil {
 		writeError(w, err)
@@ -260,6 +278,20 @@ func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	if stream == "1" {
+		// Stream the sweep live: NDJSON events from seq 0, so the
+		// client sees start, every cell the moment it finishes, and the
+		// terminal done/failed record — no polling. The subscription
+		// replays from the retained log, so nothing between Simulate
+		// and subscribe can be missed.
+		if sub, ok := s.jobs.subscribe(job.ID, 0); ok {
+			defer sub.Close()
+			streamEvents(w, r, sub)
+			return
+		}
+		// The job aged out before we could attach (only possible under
+		// extreme churn); the 202 handle still lets the client poll.
+	}
 	writeJSON(w, http.StatusAccepted, job)
 }
 
@@ -271,6 +303,54 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, job)
+}
+
+// handleJobEvents streams a job's events as NDJSON. ?from=seq resumes
+// after a disconnect: retained events with Seq >= from replay first,
+// then the stream tails live until the terminal event.
+func (s *Service) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	from := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, badRequestf("bad from %q (want a non-negative event seq)", v))
+			return
+		}
+		from = n
+	}
+	sub, ok := s.jobs.subscribe(id, from)
+	if !ok {
+		writeError(w, notFoundf("unknown job %q", id))
+		return
+	}
+	defer sub.Close()
+	streamEvents(w, r, sub)
+}
+
+// streamEvents drains a subscription into w as NDJSON, one event per
+// line, flushing after each so clients observe cells the moment they
+// finish. It returns when the job's terminal event has been written,
+// the client disconnects, or a write fails.
+func streamEvents(w http.ResponseWriter, r *http.Request, sub *JobSubscription) {
+	h := w.Header()
+	h.Set("Content-Type", "application/x-ndjson")
+	h.Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		ev, eos, err := sub.Next(r.Context())
+		if eos || err != nil {
+			return
+		}
+		if err := enc.Encode(ev); err != nil {
+			return // client gone; nothing to do
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {

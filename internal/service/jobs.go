@@ -39,19 +39,29 @@ type Job struct {
 // by in-flight jobs — otherwise a request flood would grow job structs
 // and dispatcher goroutines without bound, since 202-accepted sweeps
 // park their backpressure in the dispatcher, not the HTTP handler.
+//
+// Every job also owns a jobBus (events.go): the store publishes
+// lifecycle events (start / cell / done / failed) as state changes
+// land, and subscribers stream them over /v1/jobs/{id}/events. The bus
+// — and its retained event log — lives exactly as long as the job
+// entry, so eviction frees both.
 type jobStore struct {
 	mu      sync.RWMutex
 	jobs    map[string]*Job
+	buses   map[string]*jobBus
 	order   []string // creation order, for eviction
 	maxJobs int
 	nextID  atomic.Int64
+	// onDrop observes slow-consumer wakeup drops across all buses
+	// (may be nil; wired to the stream-drop metric).
+	onDrop func()
 }
 
 func newJobStore(maxJobs int) *jobStore {
 	if maxJobs < 1 {
 		maxJobs = 1
 	}
-	return &jobStore{jobs: map[string]*Job{}, maxJobs: maxJobs}
+	return &jobStore{jobs: map[string]*Job{}, buses: map[string]*jobBus{}, maxJobs: maxJobs}
 }
 
 // create registers a new job, evicting the oldest finished jobs past
@@ -65,6 +75,7 @@ func (s *jobStore) create(kind string, total int) (*Job, error) {
 		for i, id := range s.order {
 			if old := s.jobs[id]; old != nil && (old.Status == JobDone || old.Status == JobFailed) {
 				delete(s.jobs, id)
+				delete(s.buses, id)
 				s.order = append(s.order[:i], s.order[i+1:]...)
 				evicted = true
 				break
@@ -83,7 +94,32 @@ func (s *jobStore) create(kind string, total int) (*Job, error) {
 	}
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
+	bus := newJobBus()
+	bus.onDrop = s.onDrop
+	s.buses[j.ID] = bus
+	bus.publish(JobEvent{Type: EventStart, JobID: j.ID, Total: total})
 	return j, nil
+}
+
+// subscribe attaches a subscriber to the job's event stream, replaying
+// retained events with Seq >= from. It reports false for unknown (or
+// evicted) jobs.
+func (s *jobStore) subscribe(id string, from int) (*JobSubscription, bool) {
+	s.mu.RLock()
+	bus, ok := s.buses[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return bus.subscribe(from), true
+}
+
+// busFor exposes a job's bus (tests and the dispatcher use it).
+func (s *jobStore) busFor(id string) (*jobBus, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.buses[id]
+	return b, ok
 }
 
 // get returns a copy of the job (safe for concurrent marshaling) or
@@ -108,10 +144,18 @@ func (s *jobStore) setRunning(id string) {
 	s.mu.Unlock()
 }
 
-func (s *jobStore) cellDone(id string) {
+// cellDone advances the job's progress and publishes the finished cell
+// on the job's event stream. Publishing happens under the store lock
+// (store → bus lock order, consistent everywhere) so done_cells is
+// monotonic in Seq order even when pool workers finish concurrently.
+func (s *jobStore) cellDone(id string, cell CellResult) {
 	s.mu.Lock()
 	if j := s.jobs[id]; j != nil {
 		j.Done++
+		if bus := s.buses[id]; bus != nil {
+			c := cell
+			bus.publish(JobEvent{Type: EventCell, JobID: id, Done: j.Done, Total: j.Total, Cell: &c})
+		}
 	}
 	s.mu.Unlock()
 }
@@ -127,6 +171,15 @@ func (s *jobStore) finish(id string, res *SimulateResult, err error) {
 		} else {
 			j.Status = JobDone
 			j.Result = res
+		}
+		// Terminal event: published after every cell event (the
+		// dispatcher waits for all cells first), closing the stream.
+		if bus := s.buses[id]; bus != nil {
+			if err != nil {
+				bus.publish(JobEvent{Type: EventFailed, JobID: id, Done: j.Done, Total: j.Total, Error: err.Error()})
+			} else {
+				bus.publish(JobEvent{Type: EventDone, JobID: id, Done: j.Done, Total: j.Total, Result: res})
+			}
 		}
 	}
 	s.mu.Unlock()

@@ -32,6 +32,17 @@ type Metrics struct {
 	// (atomically; rendered as float seconds).
 	sweepMicros atomic.Int64
 
+	// streamEventsDropped counts slow-consumer wakeup drops on job
+	// event streams (the bounded-buffer lag accounting; no event is
+	// lost, the consumer just fell behind the live tail).
+	streamEventsDropped atomic.Int64
+
+	// Snapshot persistence: completed snapshot writes, entries loaded
+	// at startup, entries in the most recent write.
+	snapshotSaves   atomic.Int64
+	snapshotLoaded  atomic.Int64
+	snapshotEntries atomic.Int64
+
 	// Gauges are sampled at render time from the owning structures.
 	queueDepth  func() int
 	workersBusy func() int
@@ -75,6 +86,18 @@ func (m *Metrics) SimCacheMiss() { m.simCacheMisses.Add(1) }
 // simulation-result cache.
 func (m *Metrics) SimCacheCounts() (hits, misses int64) {
 	return m.simCacheHits.Load(), m.simCacheMisses.Load()
+}
+
+// StreamEventDropped counts one slow-consumer wakeup drop on a job
+// event stream.
+func (m *Metrics) StreamEventDropped() { m.streamEventsDropped.Add(1) }
+
+// StreamEventsDropped returns total slow-consumer wakeup drops.
+func (m *Metrics) StreamEventsDropped() int64 { return m.streamEventsDropped.Load() }
+
+// SnapshotCounts returns (saves completed, entries loaded at startup).
+func (m *Metrics) SnapshotCounts() (saves, loaded int64) {
+	return m.snapshotSaves.Load(), m.snapshotLoaded.Load()
 }
 
 // AddSweepSeconds accumulates one sweep's wall time.
@@ -167,6 +190,18 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	add("# HELP valleyd_sweep_seconds_total Wall time spent executing simulation sweeps.\n")
 	add("# TYPE valleyd_sweep_seconds_total counter\n")
 	add("valleyd_sweep_seconds_total %g\n", m.SweepSeconds())
+	add("# HELP valleyd_stream_events_dropped_total Slow-consumer wakeup drops on job event streams (lag accounting; no events are lost).\n")
+	add("# TYPE valleyd_stream_events_dropped_total counter\n")
+	add("valleyd_stream_events_dropped_total %d\n", m.streamEventsDropped.Load())
+	add("# HELP valleyd_sim_cache_snapshot_saves_total Simulation-cache snapshot files written.\n")
+	add("# TYPE valleyd_sim_cache_snapshot_saves_total counter\n")
+	add("valleyd_sim_cache_snapshot_saves_total %d\n", m.snapshotSaves.Load())
+	add("# HELP valleyd_sim_cache_snapshot_entries Entries in the most recent snapshot write.\n")
+	add("# TYPE valleyd_sim_cache_snapshot_entries gauge\n")
+	add("valleyd_sim_cache_snapshot_entries %d\n", m.snapshotEntries.Load())
+	add("# HELP valleyd_sim_cache_snapshot_loaded_entries Entries rehydrated from the snapshot at startup.\n")
+	add("# TYPE valleyd_sim_cache_snapshot_loaded_entries gauge\n")
+	add("valleyd_sim_cache_snapshot_loaded_entries %d\n", m.snapshotLoaded.Load())
 
 	if m.queueDepth != nil {
 		add("# HELP valleyd_queue_depth Tasks waiting in the worker-pool queue.\n")

@@ -1,10 +1,3 @@
-// Package service is the engine behind valleyd: it packages the
-// library's entropy profiling, mapping advice and full-system simulation
-// as a concurrent, cached network service. The three building blocks
-// are a content-addressed LRU profile cache with in-flight coalescing
-// (cache.go), a bounded worker pool executing simulation sweep jobs
-// (jobs.go), and a stdlib net/http JSON API over both (http.go), with
-// Prometheus-style plain-text metrics (metrics.go).
 package service
 
 import (
@@ -72,6 +65,16 @@ type Config struct {
 	// MaxJobs bounds retained jobs; finished jobs beyond the cap are
 	// evicted oldest-first (0 = 1000).
 	MaxJobs int
+	// SimCacheSnapshot, when set, makes the simulation-result cache
+	// durable: the file is loaded on startup (a missing, truncated,
+	// corrupt or wrong-version file loads as a clean empty cache) and
+	// written periodically and on Close, so a restarted valleyd serves
+	// repeat sweeps warm.
+	SimCacheSnapshot string
+	// SimCacheSnapshotInterval spaces periodic snapshot writes
+	// (0 = 5 min; < 0 disables periodic writes, keeping only the
+	// on-Close write). Ignored without SimCacheSnapshot.
+	SimCacheSnapshotInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +95,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobs == 0 {
 		c.MaxJobs = 1000
+	}
+	if c.SimCacheSnapshotInterval == 0 {
+		c.SimCacheSnapshotInterval = 5 * time.Minute
 	}
 	return c
 }
@@ -115,13 +121,30 @@ type Service struct {
 	// profileSem's scarce slots for a transfer's duration.
 	streamSem chan struct{}
 	start     time.Time
+	// Snapshot machinery (snapshot.go): snapStop ends the periodic
+	// writer; snapWG waits for it; closeOnce makes Close idempotent.
+	snapStop  chan struct{}
+	snapWG    sync.WaitGroup
+	closeOnce sync.Once
+	// sweepWG tracks sweep dispatcher goroutines so Close can wait for
+	// every accepted job to reach a terminal state (done or failed)
+	// before the final snapshot is written. closeMu orders Simulate's
+	// Add against Close's Wait: Adds only happen while !closed, and
+	// closed is flipped under the lock before Wait starts, so the
+	// WaitGroup never sees an Add racing a Wait from zero.
+	sweepWG sync.WaitGroup
+	closeMu sync.Mutex
+	closed  bool
 }
 
-// New builds a service with its worker pool running.
+// New builds a service with its worker pool running. With
+// Config.SimCacheSnapshot set, the simulation-result cache is loaded
+// from the snapshot file (quietly starting empty if it is missing or
+// unreadable) and a background writer persists it periodically.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	m := NewMetrics()
-	return &Service{
+	s := &Service{
 		cfg:        cfg,
 		metrics:    m,
 		cache:      newProfileCache(cfg.CacheEntries, m),
@@ -131,12 +154,38 @@ func New(cfg Config) *Service {
 		profileSem: make(chan struct{}, cfg.Workers),
 		streamSem:  make(chan struct{}, 4*cfg.Workers),
 		start:      time.Now(),
+		snapStop:   make(chan struct{}),
 	}
+	s.jobs.onDrop = m.StreamEventDropped
+	if cfg.SimCacheSnapshot != "" {
+		s.loadSimCacheSnapshot()
+		if cfg.SimCacheSnapshotInterval > 0 {
+			s.snapWG.Add(1)
+			go s.snapshotLoop()
+		}
+	}
+	return s
 }
 
-// Close drains the worker pool. In-flight jobs finish; new submissions
-// are rejected.
-func (s *Service) Close() { s.pool.close() }
+// Close drains the worker pool (in-flight cells finish; new
+// submissions are rejected), waits for every accepted job to reach a
+// terminal state, stops the periodic snapshot writer and, when
+// persistence is configured, writes a final simulation-cache snapshot
+// so a restarted service starts warm. Close is idempotent.
+func (s *Service) Close() {
+	s.closeOnce.Do(func() {
+		s.closeMu.Lock()
+		s.closed = true
+		s.closeMu.Unlock()
+		close(s.snapStop)
+		s.snapWG.Wait()
+		s.pool.close()
+		s.sweepWG.Wait()
+		if s.cfg.SimCacheSnapshot != "" {
+			s.saveSimCacheSnapshot()
+		}
+	})
+}
 
 // Metrics exposes the service's counters (for embedding and tests).
 func (s *Service) Metrics() *Metrics { return s.metrics }
@@ -742,10 +791,14 @@ type SimulateResult struct {
 }
 
 // simCell is what the simulation-result cache stores: the flattened
-// metrics of one (workload, scale, scheme, config, seed) cell.
-// Sweep-relative fields (speedup, wall time) are recomputed per sweep.
+// metrics of one (workload, scale, scheme, config, seed) cell, plus the
+// seconds the original simulation took — the cell's recompute cost,
+// which drives cost-weighted eviction and survives snapshots.
+// Sweep-relative fields (speedup, per-sweep wall time) are recomputed
+// per sweep. Fields are exported for the snapshot encoder.
 type simCell struct {
-	res experiments.ResultJSON
+	Res     experiments.ResultJSON `json:"result"`
+	Seconds float64                `json:"seconds"`
 }
 
 func simCellKey(abbr, scale string, sc mapping.Scheme, cfgName string, seed int64) string {
@@ -830,9 +883,22 @@ func (s *Service) Simulate(req SimulateRequest) (Job, error) {
 		seed = 1
 	}
 
+	// Register the dispatcher before creating the job, under closeMu:
+	// once Close has flipped closed, no new sweep can slip past its
+	// sweepWG.Wait, so the shutdown snapshot always sees every accepted
+	// job in a terminal state.
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return Job{}, overloadedError{"service shutting down"}
+	}
+	s.sweepWG.Add(1)
+	s.closeMu.Unlock()
+
 	total := len(specs) * len(schemes)
 	job, err := s.jobs.create("simulate", total)
 	if err != nil {
+		s.sweepWG.Done()
 		return Job{}, overloadedError{err.Error()}
 	}
 	s.metrics.jobsEnqueued.Add(1)
@@ -891,6 +957,7 @@ func (sa *sharedApp) get(sp workload.Spec, scale workload.Scale) *trace.App {
 }
 
 func (s *Service) runSweep(jobID string, specs []workload.Spec, schemes []mapping.Scheme, cfg gpusim.Config, scale workload.Scale, seed int64, result *SimulateResult) {
+	defer s.sweepWG.Done()
 	start := time.Now()
 	s.jobs.setRunning(jobID)
 	var (
@@ -924,6 +991,7 @@ submit:
 				cell, hit, err := s.simCache.GetOrCompute(
 					simCellKey(sp.Abbr, result.Scale, sc, result.Config, seed),
 					func() (*simCell, error) {
+						simStart := time.Now()
 						app := sa.get(sp, scale)
 						m := mapping.MustNew(sc, cfg.Layout, mapping.Options{Seed: seed})
 						r := runnerPool.Get().(*gpusim.Runner)
@@ -935,23 +1003,26 @@ submit:
 						if got := sa.app.Requests(); got != sa.reqs {
 							return nil, fmt.Errorf("simulating %s under %s mutated the shared trace: %d requests became %d", sp.Abbr, sc, sa.reqs, got)
 						}
-						return &simCell{res: experiments.FlattenResult(res)}, nil
+						return &simCell{Res: experiments.FlattenResult(res), Seconds: time.Since(simStart).Seconds()}, nil
 					})
 				if err != nil {
 					fail(err)
 					return
 				}
-				result.Cells[wi*len(schemes)+si] = CellResult{
+				done := CellResult{
 					Workload:   sp.Abbr,
 					Scheme:     string(sc),
 					Seconds:    time.Since(cellStart).Seconds(),
 					Cached:     hit,
-					ResultJSON: cell.res,
+					ResultJSON: cell.Res,
 				}
+				result.Cells[wi*len(schemes)+si] = done
 				if !hit {
 					s.metrics.cellsSimulated.Add(1)
 				}
-				s.jobs.cellDone(jobID)
+				// Publishes the cell on the job's event stream the moment
+				// it lands; streaming clients see it before job completion.
+				s.jobs.cellDone(jobID, done)
 			}
 			if !s.pool.submit(task) {
 				wg.Done()
@@ -1004,3 +1075,11 @@ func aggregateSweep(r *SimulateResult) {
 
 // Job returns a snapshot of the named job.
 func (s *Service) Job(id string) (Job, bool) { return s.jobs.get(id) }
+
+// JobEvents subscribes to the named job's event stream, replaying
+// retained events with Seq >= from (pass 0 for the full history —
+// start, every finished cell, then done/failed). It reports false for
+// unknown or evicted jobs. Callers must Close the subscription.
+func (s *Service) JobEvents(id string, from int) (*JobSubscription, bool) {
+	return s.jobs.subscribe(id, from)
+}

@@ -261,6 +261,17 @@ func TestSimulateRejectsWhenJobCapFull(t *testing.T) {
 	}
 }
 
+func TestSimulateAfterCloseRejected(t *testing.T) {
+	s := New(Config{Workers: 1})
+	s.Close()
+	_, err := s.Simulate(SimulateRequest{Workloads: []string{"SP"}, Schemes: []string{"BASE"}, Scale: "tiny"})
+	var ov overloadedError
+	if err == nil || !errors.As(err, &ov) {
+		t.Errorf("Simulate after Close: err = %v, want overloaded (no dispatcher may start once Close begins)", err)
+	}
+	s.Close() // idempotent, and must not deadlock after the rejection
+}
+
 func TestPoolSubmitAfterClose(t *testing.T) {
 	m := NewMetrics()
 	p := newPool(2, 4, m)

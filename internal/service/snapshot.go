@@ -1,0 +1,196 @@
+package service
+
+// Durable simulation-result cache. The sim cache is the expensive state
+// of a valleyd: cells take seconds to minutes to compute and are pure
+// functions of their key, so they are worth keeping across restarts.
+// Snapshots are versioned and checksummed; anything that fails
+// validation — truncation, corruption, a wrong version, a stray file —
+// loads as a clean empty cache rather than an error, because a cache is
+// always allowed to start cold.
+//
+// File layout (all integers little-endian):
+//
+//	magic   [8]byte  "VSIMCSH1"  (version is part of the magic)
+//	length  uint64   payload byte count
+//	payload []byte   JSON {"entries":[{"key":…,"cell":{…}},…]}
+//	sum     [32]byte SHA-256 of payload
+//
+// Entries are ordered least-recently-used first, so loading them in
+// order through Add reconstructs both contents and recency.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// snapshotMagic identifies a sim-cache snapshot file; the trailing
+// digit is the format version, so a version bump changes the magic and
+// old readers/writers simply don't recognize each other's files.
+var snapshotMagic = [8]byte{'V', 'S', 'I', 'M', 'C', 'S', 'H', '1'}
+
+// snapshotEntry is one persisted cache cell.
+type snapshotEntry struct {
+	Key  string  `json:"key"`
+	Cell simCell `json:"cell"`
+}
+
+type snapshotPayload struct {
+	Entries []snapshotEntry `json:"entries"`
+}
+
+// encodeSnapshot renders the cache's resident entries in the snapshot
+// file format.
+func encodeSnapshot(entries []snapshotEntry) ([]byte, error) {
+	payload, err := json.Marshal(snapshotPayload{Entries: entries})
+	if err != nil {
+		return nil, err
+	}
+	return encodeSnapshotRaw(payload)
+}
+
+// encodeSnapshotRaw wraps an already-encoded payload in the framing
+// (magic, length, checksum). Split out so tests can frame deliberately
+// invalid payloads.
+func encodeSnapshotRaw(payload []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(snapshotMagic[:])
+	var lenBuf [8]byte
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(payload)))
+	buf.Write(lenBuf[:])
+	buf.Write(payload)
+	sum := sha256.Sum256(payload)
+	buf.Write(sum[:])
+	return buf.Bytes(), nil
+}
+
+// decodeSnapshot parses and validates a snapshot file. Every failure
+// mode returns an error describing what was wrong; callers treat any
+// error as "start cold".
+func decodeSnapshot(data []byte) ([]snapshotEntry, error) {
+	const headerLen = 8 + 8
+	if len(data) < headerLen+sha256.Size {
+		return nil, errors.New("snapshot truncated: shorter than header + checksum")
+	}
+	if !bytes.Equal(data[:8], snapshotMagic[:]) {
+		return nil, fmt.Errorf("snapshot magic %q is not %q (wrong file or version)", data[:8], snapshotMagic[:])
+	}
+	n := binary.LittleEndian.Uint64(data[8:16])
+	if n != uint64(len(data)-headerLen-sha256.Size) {
+		return nil, fmt.Errorf("snapshot length field %d does not match %d payload bytes on disk", n, len(data)-headerLen-sha256.Size)
+	}
+	payload := data[headerLen : headerLen+int(n)]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], data[headerLen+int(n):]) {
+		return nil, errors.New("snapshot checksum mismatch: payload corrupted")
+	}
+	var p snapshotPayload
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return nil, fmt.Errorf("snapshot payload: %w", err)
+	}
+	return p.Entries, nil
+}
+
+// encodeCurrentSnapshot renders the live sim cache in the snapshot
+// file format, returning the entry count alongside — the single
+// renderer behind both the file writer and the test seam.
+func (s *Service) encodeCurrentSnapshot() ([]byte, int, error) {
+	entries := make([]snapshotEntry, 0)
+	for _, e := range s.simCache.Entries() {
+		entries = append(entries, snapshotEntry{Key: e.Key, Cell: *e.Val})
+	}
+	data, err := encodeSnapshot(entries)
+	return data, len(entries), err
+}
+
+// saveSimCacheSnapshot writes the current sim cache to the configured
+// path atomically (temp file + rename), so readers and a crash mid-write
+// never observe a half-written snapshot.
+func (s *Service) saveSimCacheSnapshot() {
+	data, count, err := s.encodeCurrentSnapshot()
+	if err != nil {
+		slog.Warn("sim-cache snapshot encode failed", "error", err)
+		return
+	}
+	path := s.cfg.SimCacheSnapshot
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		slog.Warn("sim-cache snapshot write failed", "path", path, "error", err)
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		slog.Warn("sim-cache snapshot write failed", "path", path, "error", errors.Join(werr, cerr))
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		slog.Warn("sim-cache snapshot rename failed", "path", path, "error", err)
+		return
+	}
+	s.metrics.snapshotSaves.Add(1)
+	s.metrics.snapshotEntries.Store(int64(count))
+	slog.Debug("sim-cache snapshot saved", "path", path, "entries", count)
+}
+
+// loadSimCacheSnapshot rehydrates the sim cache from the configured
+// path. Invalid snapshots (missing, truncated, corrupt, wrong version)
+// leave the cache empty — a cold start, never a failed start.
+func (s *Service) loadSimCacheSnapshot() {
+	path := s.cfg.SimCacheSnapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			slog.Warn("sim-cache snapshot unreadable, starting cold", "path", path, "error", err)
+		}
+		return
+	}
+	entries, err := decodeSnapshot(data)
+	if err != nil {
+		slog.Warn("sim-cache snapshot invalid, starting cold", "path", path, "error", err)
+		return
+	}
+	for i := range entries {
+		cell := entries[i].Cell
+		s.simCache.Add(entries[i].Key, &cell)
+	}
+	s.metrics.snapshotLoaded.Store(int64(len(entries)))
+	slog.Info("sim-cache snapshot loaded", "path", path, "entries", len(entries))
+}
+
+// snapshotLoop persists the sim cache every SimCacheSnapshotInterval
+// until Close.
+func (s *Service) snapshotLoop() {
+	defer s.snapWG.Done()
+	t := time.NewTicker(s.cfg.SimCacheSnapshotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.snapStop:
+			return
+		case <-t.C:
+			s.saveSimCacheSnapshot()
+		}
+	}
+}
+
+// writeSnapshotTo is a test seam: it renders the live cache in snapshot
+// format without touching the filesystem.
+func (s *Service) writeSnapshotTo(w io.Writer) error {
+	data, _, err := s.encodeCurrentSnapshot()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzCSVStreamParity holds the materialized and streaming CSV decoders
+// to identical accept/reject behavior on arbitrary inputs, and to never
+// panicking. ReadCSV is today a draining adapter over CSVStream — the
+// fuzz target pins that equivalence as a contract, so a future
+// reimplementation of either path (a faster materialized parser, a
+// stricter streaming one) cannot silently diverge on inputs no table
+// test thought of. It also cross-checks the hashed and unhashed stream
+// variants, the incremental digest, and error stickiness.
+//
+// Seeded from the malformed-input parity corpus plus the
+// valid-but-unusual accept corpus (stream_test.go).
+func FuzzCSVStreamParity(f *testing.F) {
+	for _, tc := range malformedCSVCases {
+		f.Add(tc.in)
+	}
+	for _, in := range acceptCSVCases {
+		f.Add(in)
+	}
+	// A few shapes the corpora do not cover: huge fields, NUL bytes,
+	// carriage returns, a comment between records of one TB.
+	f.Add("K,k,1,1\nR,0,0,R," + strings.Repeat("f", 64) + "\n")
+	f.Add("K,k\x00,1,1\nR,0,0,R,10\n")
+	f.Add("K,k,1,1\r\nR,0,0,R,10\r\n")
+	f.Add("K,k,1,1\nR,0,0,R,10\n# mid\nR,0,1,W,20\n")
+
+	f.Fuzz(func(t *testing.T, in string) {
+		// Materialized decode (drains a fresh hashed stream internally).
+		matApp, matErr := ReadCSV(strings.NewReader(in))
+
+		// Streaming decode, batch by batch, hashed variant.
+		cs := NewCSVStream(strings.NewReader(in))
+		var streamErr error
+		for {
+			_, err := cs.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				streamErr = err
+				break
+			}
+		}
+
+		// Accept/reject parity, with identical error text.
+		if (matErr == nil) != (streamErr == nil) {
+			t.Fatalf("decoders disagree on %q:\n  materialized: %v\n  streaming:    %v", in, matErr, streamErr)
+		}
+		if matErr != nil {
+			if matErr.Error() != streamErr.Error() {
+				t.Fatalf("error text diverged on %q:\n  materialized: %v\n  streaming:    %v", in, matErr, streamErr)
+			}
+			// Errors are sticky: the stream must not resume mid-trace.
+			if _, err := cs.Next(); err == nil || err == io.EOF || err.Error() != streamErr.Error() {
+				t.Fatalf("stream error not sticky on %q: %v then %v", in, streamErr, err)
+			}
+			return
+		}
+
+		// On accept: the hashed digest equals ReadCSVHashed's, and the
+		// unhashed variant decodes the same trace.
+		_, wantSum, err := ReadCSVHashed(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("ReadCSVHashed rejected input ReadCSV accepted: %q: %v", in, err)
+		}
+		if got := cs.SHA256(); got != wantSum {
+			t.Fatalf("incremental hash %s != ReadCSVHashed %s on %q", got, wantSum, in)
+		}
+		cu := NewCSVStreamUnhashed(strings.NewReader(in))
+		unhashed, err := CollectStream(cu, cu.Info())
+		if err != nil {
+			t.Fatalf("unhashed stream rejected accepted input %q: %v", in, err)
+		}
+		if !reflect.DeepEqual(matApp, unhashed) {
+			t.Fatalf("hashed and unhashed decodes differ on %q", in)
+		}
+	})
+}

@@ -163,42 +163,57 @@ func TestCSVStreamMatchesReadCSV(t *testing.T) {
 	}
 }
 
-// TestCSVDecodersRejectIdentically feeds malformed inputs — truncated
-// rows, non-numeric addresses, bad kind tokens, structural violations —
-// to both the materialized and the streaming decoder and requires the
-// exact same rejection (same error text) from both.
+// malformedCSVCases is the malformed-input parity corpus — truncated
+// rows, non-numeric addresses, bad kind tokens, structural violations.
+// Shared between TestCSVDecodersRejectIdentically and the fuzz seeds
+// (FuzzCSVStreamParity).
+var malformedCSVCases = []struct {
+	name, in string
+}{
+	{"empty", ""},
+	{"comments only", "# nothing\n\n"},
+	{"request before kernel", "R,0,0,R,1000\n"},
+	{"truncated K", "K,k,1\n"},
+	{"overlong K", "K,k,1,1,9\n"},
+	{"zero warps", "K,k,0,10\nR,0,0,R,10\n"},
+	{"non-numeric warps", "K,k,two,10\n"},
+	{"negative gap", "K,k,1,-5\n"},
+	{"non-numeric gap", "K,k,1,x\n"},
+	{"truncated R", "K,k,1,1\nR,0,0,R\n"},
+	{"overlong R", "K,k,1,1\nR,0,0,R,10,extra\n"},
+	{"non-numeric tb id", "K,k,1,1\nR,abc,0,R,10\n"},
+	{"overflowing tb id", "K,k,1,1\nR,18446744073709551616,0,R,10\n"},
+	{"overflowing warp", "K,k,1,1\nR,0,99999999999999999999,R,10\n"},
+	{"non-numeric warp", "K,k,1,1\nR,0,w,R,10\n"},
+	{"negative warp", "K,k,1,1\nR,0,-1,R,10\n"},
+	{"bad kind token", "K,k,1,1\nR,0,0,X,10\n"},
+	{"lowercase kind", "K,k,1,1\nR,0,0,r,10\n"},
+	{"non-hex address", "K,k,1,1\nR,0,0,R,zz\n"},
+	{"empty address", "K,k,1,1\nR,0,0,R,\n"},
+	{"0x-prefixed address", "K,k,1,1\nR,0,0,R,0x10\n"},
+	{"overflow address", "K,k,1,1\nR,0,0,R,1ffffffffffffffff\n"},
+	{"descending TB ids", "K,k,1,1\nR,5,0,R,0\nR,2,0,R,0\n"},
+	{"repeated TB id", "K,k,1,1\nR,1,0,R,0\nR,2,0,R,0\nR,1,0,R,4\n"},
+	{"unknown record", "K,k,1,1\nQ,1,2\n"},
+	{"empty record type", "K,k,1,1\n,1,2\n"},
+}
+
+// acceptCSVCases are valid-but-unusual inputs both decoders must accept
+// identically; also fuzz seeds.
+var acceptCSVCases = []string{
+	"K,k,1,1\nR,0,0,R,10\n",
+	"K, k with spaces ,4,0\nR,0,3,W,FFff\n",
+	"K,k,1,1\nK,k2,2,2\nR,7,1,R,0\n",          // empty first kernel
+	"K,k,+2,+3\nR,+1,+0,R,abc\n",              // explicit plus signs (Atoi accepts)
+	"K,k,1,1\nR,9223372036854775807,0,R,10\n", // max-int64 TB id parses, no wrap
+	"  K,k,1,1  \n\n# c\n R,0,0,R,40 \n",
+}
+
+// TestCSVDecodersRejectIdentically feeds the malformed corpus to both
+// the materialized and the streaming decoder and requires the exact
+// same rejection (same error text) from both.
 func TestCSVDecodersRejectIdentically(t *testing.T) {
-	cases := []struct {
-		name, in string
-	}{
-		{"empty", ""},
-		{"comments only", "# nothing\n\n"},
-		{"request before kernel", "R,0,0,R,1000\n"},
-		{"truncated K", "K,k,1\n"},
-		{"overlong K", "K,k,1,1,9\n"},
-		{"zero warps", "K,k,0,10\nR,0,0,R,10\n"},
-		{"non-numeric warps", "K,k,two,10\n"},
-		{"negative gap", "K,k,1,-5\n"},
-		{"non-numeric gap", "K,k,1,x\n"},
-		{"truncated R", "K,k,1,1\nR,0,0,R\n"},
-		{"overlong R", "K,k,1,1\nR,0,0,R,10,extra\n"},
-		{"non-numeric tb id", "K,k,1,1\nR,abc,0,R,10\n"},
-		{"overflowing tb id", "K,k,1,1\nR,18446744073709551616,0,R,10\n"},
-		{"overflowing warp", "K,k,1,1\nR,0,99999999999999999999,R,10\n"},
-		{"non-numeric warp", "K,k,1,1\nR,0,w,R,10\n"},
-		{"negative warp", "K,k,1,1\nR,0,-1,R,10\n"},
-		{"bad kind token", "K,k,1,1\nR,0,0,X,10\n"},
-		{"lowercase kind", "K,k,1,1\nR,0,0,r,10\n"},
-		{"non-hex address", "K,k,1,1\nR,0,0,R,zz\n"},
-		{"empty address", "K,k,1,1\nR,0,0,R,\n"},
-		{"0x-prefixed address", "K,k,1,1\nR,0,0,R,0x10\n"},
-		{"overflow address", "K,k,1,1\nR,0,0,R,1ffffffffffffffff\n"},
-		{"descending TB ids", "K,k,1,1\nR,5,0,R,0\nR,2,0,R,0\n"},
-		{"repeated TB id", "K,k,1,1\nR,1,0,R,0\nR,2,0,R,0\nR,1,0,R,4\n"},
-		{"unknown record", "K,k,1,1\nQ,1,2\n"},
-		{"empty record type", "K,k,1,1\n,1,2\n"},
-	}
-	for _, tc := range cases {
+	for _, tc := range malformedCSVCases {
 		t.Run(tc.name, func(t *testing.T) {
 			_, matErr := ReadCSV(strings.NewReader(tc.in))
 			if matErr == nil {
@@ -228,15 +243,7 @@ func TestCSVDecodersRejectIdentically(t *testing.T) {
 // TestCSVDecodersAcceptIdentically checks that valid-but-unusual inputs
 // decode to the same trace through both decoders.
 func TestCSVDecodersAcceptIdentically(t *testing.T) {
-	cases := []string{
-		"K,k,1,1\nR,0,0,R,10\n",
-		"K, k with spaces ,4,0\nR,0,3,W,FFff\n",
-		"K,k,1,1\nK,k2,2,2\nR,7,1,R,0\n",          // empty first kernel
-		"K,k,+2,+3\nR,+1,+0,R,abc\n",              // explicit plus signs (Atoi accepts)
-		"K,k,1,1\nR,9223372036854775807,0,R,10\n", // max-int64 TB id parses, no wrap
-		"  K,k,1,1  \n\n# c\n R,0,0,R,40 \n",
-	}
-	for _, in := range cases {
+	for _, in := range acceptCSVCases {
 		want, err := ReadCSV(strings.NewReader(in))
 		if err != nil {
 			t.Fatalf("materialized decoder rejected %q: %v", in, err)

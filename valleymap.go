@@ -407,7 +407,29 @@ type (
 	ServiceSimulateRequest = service.SimulateRequest
 	ServiceSimulateResult  = service.SimulateResult
 	ServiceJob             = service.Job
+	ServiceCellResult      = service.CellResult
+)
+
+// Streaming sweep events: each running job publishes start / cell /
+// done|failed records on a per-job bus, exposed over HTTP as NDJSON
+// (POST /v1/simulate?stream=1, GET /v1/jobs/{id}/events) and in-process
+// via Service.JobEvents. Events arrive in seq order with no duplicates,
+// and every cell event precedes the terminal event.
+type (
+	ServiceJobEvent        = service.JobEvent
+	ServiceJobSubscription = service.JobSubscription
+)
+
+// Job event types, in stream order.
+const (
+	ServiceEventStart  = service.EventStart
+	ServiceEventCell   = service.EventCell
+	ServiceEventDone   = service.EventDone
+	ServiceEventFailed = service.EventFailed
 )
 
 // NewService starts a service engine (its worker pool runs until Close).
+// With ServiceConfig.SimCacheSnapshot set, the simulation-result cache
+// persists across restarts (loaded on construction, saved periodically
+// and on Close).
 func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
