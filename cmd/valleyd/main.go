@@ -7,6 +7,7 @@
 //
 //	valleyd [-addr :8080] [-workers N] [-queue 256] [-cache 512] [-sim-cache 256]
 //	        [-max-trace-bytes N] [-snapshot PATH] [-snapshot-interval 5m]
+//	        [-log-level info] [-log-format text] [-debug-addr :6060]
 //
 // Endpoints:
 //
@@ -16,6 +17,7 @@
 //	POST /v1/simulate?stream=1                                  streams NDJSON cell events live
 //	GET  /v1/jobs/{id}                                          poll the sweep
 //	GET  /v1/jobs/{id}/events                                   stream job events (?from=seq resumes)
+//	GET  /v1/jobs/{id}/trace                                    span tree of the sweep (accept → enqueue → cells)
 //	GET  /healthz
 //	GET  /metrics
 //
@@ -28,6 +30,14 @@
 // the snapshot file on startup and rewrites it every -snapshot-interval
 // and on shutdown, so a restarted daemon answers repeat sweeps from
 // cache (cells report "cached": true) instead of re-simulating.
+//
+// Observability: every request gets a trace_id (client-supplied
+// X-Trace-Id or generated) carried by its logs, its job's span tree and
+// every NDJSON event. -log-level and -log-format select the slog
+// threshold and text|json encoding; -v remains a shorthand for
+// -log-level debug. -debug-addr starts a second listener exposing
+// net/http/pprof under /debug/pprof/ — opt-in and separate from the
+// service address so profiling is never exposed on the public port.
 package main
 
 import (
@@ -36,6 +46,7 @@ import (
 	"flag"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,14 +64,20 @@ func main() {
 	maxTraceBytes := flag.Int64("max-trace-bytes", 0, "uploaded trace body cap in bytes (0 = 256 MiB; uploads stream, so this bounds bandwidth, not memory)")
 	snapshot := flag.String("snapshot", "", "simulation-cache snapshot file (empty = no persistence); loaded on startup, written periodically and on shutdown")
 	snapshotInterval := flag.Duration("snapshot-interval", 0, "time between periodic snapshot writes (0 = 5m; negative = only on shutdown)")
-	verbose := flag.Bool("v", false, "debug logging")
+	logLevel := flag.String("log-level", "info", "log threshold: debug, info, warn or error")
+	logFormat := flag.String("log-format", "text", "log encoding: text or json")
+	debugAddr := flag.String("debug-addr", "", "optional second listen address serving net/http/pprof under /debug/pprof/ (empty = disabled)")
+	verbose := flag.Bool("v", false, "debug logging (alias for -log-level debug)")
 	flag.Parse()
 
-	level := slog.LevelInfo
 	if *verbose {
-		level = slog.LevelDebug
+		*logLevel = "debug"
 	}
-	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	logger, err := valleymap.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		slog.Error("bad logging flags", "error", err)
+		os.Exit(2)
+	}
 	slog.SetDefault(logger)
 
 	svc := valleymap.NewService(valleymap.ServiceConfig{
@@ -71,6 +88,7 @@ func main() {
 		MaxTraceBytes:            *maxTraceBytes,
 		SimCacheSnapshot:         *snapshot,
 		SimCacheSnapshotInterval: *snapshotInterval,
+		Logger:                   logger,
 	})
 	defer svc.Close()
 
@@ -88,6 +106,26 @@ func main() {
 		slog.Info("valleyd listening", "addr", *addr)
 		errc <- srv.ListenAndServe()
 	}()
+
+	// The pprof listener is its own server on its own mux: the default
+	// ServeMux (which net/http/pprof registers on by import) is never
+	// exposed, and a failed debug listener is fatal the same way the
+	// service listener is — silently losing profiling is worse than
+	// failing fast at startup.
+	if *debugAddr != "" {
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dsrv := &http.Server{Addr: *debugAddr, Handler: dbg, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			slog.Info("pprof listening", "addr", *debugAddr)
+			errc <- dsrv.ListenAndServe()
+		}()
+		defer dsrv.Close()
+	}
 
 	select {
 	case err := <-errc:

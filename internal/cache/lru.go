@@ -10,8 +10,22 @@ package cache
 import (
 	"container/list"
 	"fmt"
+	"runtime/debug"
 	"sync"
 )
+
+// PanicError is the error GetOrCompute returns when the computation
+// panicked. It preserves the panic value and the stack captured at the
+// panic site, so callers can account for it as a crash (and log the
+// real stack) rather than an ordinary compute failure.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("cache: computation panicked: %v", e.Value)
+}
 
 // Weight is the eviction weight of one cache entry: Cost is how
 // expensive the entry was to produce (the service uses measured wall
@@ -123,7 +137,7 @@ func (c *LRU[V]) GetOrCompute(key string, fn func() (V, error)) (val V, hit bool
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
-				f.err = fmt.Errorf("cache: computation panicked: %v", r)
+				f.err = &PanicError{Value: r, Stack: debug.Stack()}
 			}
 		}()
 		f.val, f.err = fn()

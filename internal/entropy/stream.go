@@ -20,6 +20,7 @@ package entropy
 import (
 	"io"
 	"sync"
+	"time"
 
 	"valleymap/internal/trace"
 )
@@ -46,6 +47,13 @@ type StreamOptions struct {
 	// in ProfileStream (typically GOMAXPROCS); folding stays in TB
 	// dispatch order, so the result is identical to the sequential one.
 	Workers int
+	// OnFold, when set, observes the wall time of each accumulate step —
+	// one batch fold in the sequential driver, one committed TB profile
+	// (or kernel boundary) in the parallel driver. It feeds the
+	// accumulate-stage latency histogram in valleyd without the
+	// accumulator importing any metrics machinery; it must be cheap and
+	// must not panic.
+	OnFold func(time.Duration)
 }
 
 // Accumulator folds a request stream into a Profile online. Feed it
@@ -321,7 +329,13 @@ func ProfileStream(st trace.Stream, opt StreamOptions) (Profile, error) {
 		if err != nil {
 			return Profile{}, err
 		}
-		acc.Fold(b)
+		if opt.OnFold != nil {
+			start := time.Now()
+			acc.Fold(b)
+			opt.OnFold(time.Since(start))
+		} else {
+			acc.Fold(b)
+		}
 	}
 }
 
@@ -406,13 +420,21 @@ func profileParallel(st trace.Stream, opt StreamOptions) (Profile, error) {
 
 	var streamErr error
 	for ev := range events {
+		var start time.Time
+		if opt.OnFold != nil {
+			start = time.Now()
+		}
 		switch {
 		case ev.err != nil:
 			streamErr = ev.err
+			continue
 		case ev.kernel:
 			acc.OpenKernel()
 		default:
 			acc.FoldTBProfile(<-ev.fut)
+		}
+		if opt.OnFold != nil {
+			opt.OnFold(time.Since(start))
 		}
 	}
 	if streamErr != nil {

@@ -13,6 +13,7 @@ package gpusim
 
 import (
 	"fmt"
+	"time"
 
 	"valleymap/internal/cache"
 	"valleymap/internal/dram"
@@ -303,7 +304,26 @@ type Runner struct {
 	dramPool *dram.Pool
 	progFree [][]gpu.WarpProgram
 	scratch  trace.TB
+	// onStage, when set, receives coarse per-run stage durations (see
+	// SetStageObserver). Deliberately per-run, not per-event: the event
+	// engine's zero-allocation steady state must stay untouched.
+	onStage func(stage string, d time.Duration)
 }
+
+// Run stage names reported to the observer installed by
+// SetStageObserver, in emission order.
+const (
+	StageSetup   = "setup"   // engine reset, NoC/DRAM/SM construction
+	StageKernels = "kernels" // trace-driven kernel execution (the simulation)
+	StageCollect = "collect" // metric collection and power model
+)
+
+// SetStageObserver installs f to receive each Run's coarse stage
+// timings: setup, kernels, collect. f runs on the Run goroutine after
+// the stage completes; nil removes the observer. The taps cost three
+// time.Now pairs per Run — noise next to any real simulation — and feed
+// valleyd's per-cell span attributes and stage histograms.
+func (r *Runner) SetStageObserver(f func(stage string, d time.Duration)) { r.onStage = f }
 
 // NewRunner returns an empty Runner.
 func NewRunner() *Runner {
@@ -329,6 +349,10 @@ func (r *Runner) putProgs(p []gpu.WarpProgram) {
 // same *trace.App concurrently (the service's sweep cells share one
 // build per workload), so nothing in the simulator may mutate it.
 func (run *Runner) Run(app *trace.App, mapper mapping.Mapper, cfg Config) Result {
+	var stageStart time.Time
+	if run.onStage != nil {
+		stageStart = time.Now()
+	}
 	eng := &run.eng
 	eng.Reset()
 	par := metrics.NewMemParallelism(cfg.LLCSlices, cfg.Layout.Channels(), cfg.Layout.BanksPerChannel())
@@ -357,12 +381,22 @@ func (run *Runner) Run(app *trace.App, mapper mapping.Mapper, cfg Config) Result
 		sms[i] = gpu.New(eng, i, cfg.SM, sys)
 	}
 
+	if run.onStage != nil {
+		now := time.Now()
+		run.onStage(StageSetup, now.Sub(stageStart))
+		stageStart = now
+	}
 	mapAddr := mapper.Map
 	for ki := range app.Kernels {
 		run.runKernel(sms, &app.Kernels[ki], cfg, mapAddr)
 	}
 	end := eng.Now()
 	par.Finish(end)
+	if run.onStage != nil {
+		now := time.Now()
+		run.onStage(StageKernels, now.Sub(stageStart))
+		stageStart = now
+	}
 
 	res := Result{
 		App:          app.Abbr,
@@ -409,6 +443,9 @@ func (run *Runner) Run(app *trace.App, mapper mapping.Mapper, cfg Config) Result
 		kilo := float64(res.Instructions) / 1000
 		res.APKI = float64(res.LLC.Accesses) / kilo
 		res.MPKI = float64(res.LLC.Misses) / kilo
+	}
+	if run.onStage != nil {
+		run.onStage(StageCollect, time.Since(stageStart))
 	}
 	return res
 }

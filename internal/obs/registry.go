@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+)
+
+// Collector renders one or more complete metric families (HELP/TYPE
+// preamble plus sample lines) into a Prometheus text-format buffer.
+type Collector interface {
+	Collect(b []byte) []byte
+}
+
+// GaugeFunc is a gauge family sampled at render time.
+type GaugeFunc struct {
+	Name string
+	Help string
+	Fn   func() float64
+}
+
+// Collect implements Collector.
+func (g GaugeFunc) Collect(b []byte) []byte {
+	b = append(b, "# HELP "...)
+	b = append(b, g.Name...)
+	b = append(b, ' ')
+	b = append(b, g.Help...)
+	b = append(b, "\n# TYPE "...)
+	b = append(b, g.Name...)
+	b = append(b, " gauge\n"...)
+	b = append(b, g.Name...)
+	b = append(b, ' ')
+	b = strconv.AppendFloat(b, g.Fn(), 'g', -1, 64)
+	b = append(b, '\n')
+	return b
+}
+
+// Registry is an ordered set of collectors rendered into one exposition
+// document. Registration order is exposition order, which keeps
+// /metrics output stable for tests and diffing.
+type Registry struct {
+	collectors []Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register appends a collector. Registration is construction-time
+// wiring, not hot path; it is not synchronized.
+func (r *Registry) Register(c Collector) { r.collectors = append(r.collectors, c) }
+
+// Collect renders every registered collector in order.
+func (r *Registry) Collect(b []byte) []byte {
+	for _, c := range r.collectors {
+		b = c.Collect(b)
+	}
+	return b
+}
+
+// WriteTo renders the registry to w in Prometheus text format.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(r.Collect(nil))
+	return int64(n), err
+}

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed operation inside a Trace. IDs are assigned in start
+// order from 1; Parent 0 means top level. A zero End means the span is
+// still open.
+type Span struct {
+	ID     int
+	Parent int
+	Name   string
+	Start  time.Time
+	End    time.Time
+	Attrs  []Attr
+}
+
+// Trace is a per-job span recorder: a mutex-guarded ring buffer of
+// spans. When more than the configured capacity of spans start, the
+// oldest are overwritten and counted as dropped — a runaway job can
+// never grow its trace without bound. Safe for concurrent use; spans
+// may start and end on different goroutines.
+type Trace struct {
+	id  string
+	cap int
+
+	mu      sync.Mutex
+	spans   []Span // ring, insertion order once full
+	next    int    // ring slot for the next span
+	nextID  int
+	dropped int
+}
+
+// defaultSpanCap bounds a trace that did not choose its own capacity.
+const defaultSpanCap = 4096
+
+// NewTrace builds a trace identified by id, retaining at most maxSpans
+// spans (0 uses a 4096-span default).
+func NewTrace(id string, maxSpans int) *Trace {
+	if maxSpans <= 0 {
+		maxSpans = defaultSpanCap
+	}
+	return &Trace{id: id, cap: maxSpans}
+}
+
+// ID returns the trace identifier (the job's trace_id).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// SpanRef is a handle to a started span. The zero SpanRef is a no-op
+// (Ends do nothing), so instrumentation can be written unconditionally
+// against a nil trace.
+type SpanRef struct {
+	t  *Trace
+	id int
+}
+
+// ID returns the span's ID (0 for the zero SpanRef), usable as a
+// parent for child spans.
+func (s SpanRef) ID() int { return s.id }
+
+// Start opens a span now. parent is a SpanRef.ID (0 = top level). A nil
+// trace returns the zero SpanRef.
+func (t *Trace) Start(parent int, name string, attrs ...Attr) SpanRef {
+	return t.StartAt(parent, name, time.Time{}, attrs...)
+}
+
+// StartAt opens a span with an explicit start time (zero = now), so
+// queue waits and accept-to-enqueue gaps can be recorded after the
+// fact.
+func (t *Trace) StartAt(parent int, name string, at time.Time, attrs ...Attr) SpanRef {
+	if t == nil {
+		return SpanRef{}
+	}
+	if at.IsZero() {
+		at = time.Now()
+	}
+	t.mu.Lock()
+	t.nextID++
+	sp := Span{ID: t.nextID, Parent: parent, Name: name, Start: at, Attrs: attrs}
+	if len(t.spans) < t.cap {
+		t.spans = append(t.spans, sp)
+	} else {
+		t.spans[t.next] = sp
+		t.dropped++
+	}
+	t.next = (t.next + 1) % t.cap
+	id := t.nextID
+	t.mu.Unlock()
+	return SpanRef{t: t, id: id}
+}
+
+// End closes the span now. Ending a span the ring has already
+// overwritten is a no-op.
+func (s SpanRef) End() { s.EndAt(time.Time{}) }
+
+// EndAt closes the span at an explicit time (zero = now).
+func (s SpanRef) EndAt(at time.Time) {
+	if s.t == nil || s.id == 0 {
+		return
+	}
+	if at.IsZero() {
+		at = time.Now()
+	}
+	t := s.t
+	t.mu.Lock()
+	for i := range t.spans {
+		if t.spans[i].ID == s.id {
+			t.spans[i].End = at
+			break
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Annotate appends attributes to an open (or closed) span.
+func (s SpanRef) Annotate(attrs ...Attr) {
+	if s.t == nil || s.id == 0 {
+		return
+	}
+	t := s.t
+	t.mu.Lock()
+	for i := range t.spans {
+		if t.spans[i].ID == s.id {
+			t.spans[i].Attrs = append(t.spans[i].Attrs, attrs...)
+			break
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Dropped returns how many spans the ring has overwritten.
+func (t *Trace) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// SpanNode is one node of the rendered span tree (the JSON shape of
+// GET /v1/jobs/{id}/trace). Durations are microseconds; an open span
+// reports the duration up to render time and in_progress=true.
+type SpanNode struct {
+	ID         int               `json:"id"`
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationUS int64             `json:"duration_us"`
+	InProgress bool              `json:"in_progress,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []*SpanNode       `json:"children,omitempty"`
+}
+
+// Tree renders the retained spans as a forest ordered by span ID (start
+// order). Spans whose parent has been overwritten by the ring re-root
+// at the top level.
+func (t *Trace) Tree() []*SpanNode {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := make([]Span, len(t.spans))
+	copy(spans, t.spans)
+	t.mu.Unlock()
+
+	sort.Slice(spans, func(i, j int) bool { return spans[i].ID < spans[j].ID })
+	now := time.Now()
+	nodes := make(map[int]*SpanNode, len(spans))
+	var roots []*SpanNode
+	for _, sp := range spans {
+		n := &SpanNode{ID: sp.ID, Name: sp.Name, Start: sp.Start}
+		if sp.End.IsZero() {
+			n.DurationUS = now.Sub(sp.Start).Microseconds()
+			n.InProgress = true
+		} else {
+			n.DurationUS = sp.End.Sub(sp.Start).Microseconds()
+		}
+		if len(sp.Attrs) > 0 {
+			n.Attrs = make(map[string]string, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				n.Attrs[a.Key] = a.Value
+			}
+		}
+		nodes[sp.ID] = n
+	}
+	for _, sp := range spans {
+		n := nodes[sp.ID]
+		if parent, ok := nodes[sp.Parent]; ok && sp.Parent != 0 && sp.Parent != sp.ID {
+			parent.Children = append(parent.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}

@@ -47,4 +47,23 @@
 // and loaded on New — a restarted valleyd answers repeat sweeps from
 // cache (cells report "cached": true). Snapshots that fail validation
 // (truncated, corrupt, wrong version) load as a clean empty cache.
+//
+// # Observability
+//
+// The service is instrumented end to end via internal/obs. Every
+// request carries a trace id (client X-Trace-Id or generated), a
+// request-scoped slog.Logger in its context, and a latency observation
+// into valleyd_http_request_duration_seconds{path,code} — unknown paths
+// collapse into path="other" so the label table stays bounded. Each
+// sweep job records a ring-buffered span tree (accept → enqueue →
+// per-cell queue wait → trace build → engine run → cache put), served
+// by GET /v1/jobs/{id}/trace and correlated with the job's NDJSON
+// events through the shared trace_id. Queue wait, per-cell simulation
+// seconds and the streaming pipeline's per-stage times feed lock-free
+// histograms rendered into /metrics by the obs.Registry hook in
+// metrics.go (tracing.go holds the trace endpoint). Panics anywhere in
+// a sweep — worker task, cell, or inside the cache's compute closure
+// (surfaced as a cache.PanicError) — are recovered, logged with their
+// stack, counted in valleyd_worker_panics_total, and fail only the
+// affected job.
 package service

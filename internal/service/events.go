@@ -20,6 +20,10 @@ type JobEvent struct {
 	Seq   int    `json:"seq"`
 	Type  string `json:"type"` // start | cell | done | failed
 	JobID string `json:"job_id"`
+	// TraceID is the job's trace identifier, stamped on every event by
+	// the bus so a streamed NDJSON record correlates with the span tree
+	// on /v1/jobs/{id}/trace and with structured log lines.
+	TraceID string `json:"trace_id,omitempty"`
 	// Done / Total track progress at publish time (cell and terminal
 	// events; the start event reports 0/Total).
 	Done  int `json:"done_cells"`
@@ -58,6 +62,9 @@ type jobBus struct {
 	log    []JobEvent
 	subs   map[*JobSubscription]struct{}
 	closed bool
+	// traceID is the owning job's trace identifier, stamped on every
+	// published event.
+	traceID string
 	// dropped counts channel sends skipped because a subscriber's
 	// buffer was full (the slow-consumer accounting); onDrop, when
 	// set, mirrors each drop into the service-wide metric.
@@ -89,6 +96,7 @@ func (b *jobBus) publish(ev JobEvent) {
 		return
 	}
 	ev.Seq = len(b.log)
+	ev.TraceID = b.traceID
 	b.log = append(b.log, ev)
 	if ev.Type == EventDone || ev.Type == EventFailed {
 		b.closed = true

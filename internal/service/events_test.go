@@ -215,7 +215,7 @@ func TestJobEventsInProcess(t *testing.T) {
 
 	// On a live job, a canceled context unblocks a waiting Next.
 	js := newJobStore(4)
-	live, err := js.create("simulate", 1)
+	live, err := js.create("simulate", 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestJobEventsInProcess(t *testing.T) {
 // wrapper hiding the Flusher).
 func TestStreamingDeliveryIsLive(t *testing.T) {
 	svc, ts := newTestServer(t)
-	job, err := svc.jobs.create("simulate", 1)
+	job, err := svc.jobs.create("simulate", 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +316,7 @@ func TestEventBusSlowConsumerAccounting(t *testing.T) {
 	m := NewMetrics()
 	js := newJobStore(8)
 	js.onDrop = m.StreamEventDropped
-	j, err := js.create("simulate", 0)
+	j, err := js.create("simulate", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,12 +15,17 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
 
-// secondsRe blanks wall-time fields — the only nondeterministic bytes
-// in a single-worker streaming transcript.
-var secondsRe = regexp.MustCompile(`"seconds":[0-9][0-9.eE+-]*`)
+// secondsRe blanks wall-time fields and traceIDRe blanks the random
+// per-job trace identifier — the only nondeterministic bytes in a
+// single-worker streaming transcript.
+var (
+	secondsRe = regexp.MustCompile(`"seconds":[0-9][0-9.eE+-]*`)
+	traceIDRe = regexp.MustCompile(`"trace_id":"[0-9a-f]+"`)
+)
 
 func normalizeTranscript(b []byte) []byte {
-	return secondsRe.ReplaceAll(b, []byte(`"seconds":0`))
+	b = secondsRe.ReplaceAll(b, []byte(`"seconds":0`))
+	return traceIDRe.ReplaceAll(b, []byte(`"trace_id":"0"`))
 }
 
 // TestGoldenStreamingSweep pins the streaming wire format end to end: a

@@ -5,11 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
+
+	"valleymap/internal/obs"
 )
 
 // Handler returns the valleyd HTTP API:
@@ -20,17 +21,45 @@ import (
 //	                          ?stream=1 streams NDJSON events instead (200)
 //	GET  /v1/jobs/{id}        poll a sweep job
 //	GET  /v1/jobs/{id}/events stream the job's events as NDJSON (?from=seq resumes)
+//	GET  /v1/jobs/{id}/trace  the job's span tree (accept → enqueue → cells → engine)
 //	GET  /healthz             liveness
 //	GET  /metrics             Prometheus-style plain text
 func (s *Service) Handler() http.Handler {
+	routes := []struct {
+		method, pattern, label string
+		h                      http.HandlerFunc
+	}{
+		{"POST", "/v1/profile", "/v1/profile", s.handleProfile},
+		{"POST", "/v1/advise", "/v1/advise", s.handleAdvise},
+		{"POST", "/v1/simulate", "/v1/simulate", s.handleSimulate},
+		{"GET", "/v1/jobs/{id}", "/v1/jobs", s.handleJob},
+		{"GET", "/v1/jobs/{id}/events", "/v1/jobs/events", s.handleJobEvents},
+		{"GET", "/v1/jobs/{id}/trace", "/v1/jobs/trace", s.handleJobTrace},
+		{"GET", "/healthz", "/healthz", s.handleHealthz},
+		{"GET", "/metrics", "/metrics", s.handleMetrics},
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/profile", s.instrument("/v1/profile", s.handleProfile))
-	mux.HandleFunc("POST /v1/advise", s.instrument("/v1/advise", s.handleAdvise))
-	mux.HandleFunc("POST /v1/simulate", s.instrument("/v1/simulate", s.handleSimulate))
-	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs", s.handleJob))
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("/v1/jobs/events", s.handleJobEvents))
-	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
-	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	for _, rt := range routes {
+		mux.HandleFunc(rt.method+" "+rt.pattern, s.instrument(rt.label, rt.h))
+		// The method-less twin catches wrong-method requests on a known
+		// path (the method-qualified pattern is more specific, so real
+		// traffic never lands here) and keeps them instrumented under
+		// the same path label instead of falling to the catch-all.
+		method := rt.method
+		mux.HandleFunc(rt.pattern, s.instrument(rt.label, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Allow", method)
+			writeJSON(w, http.StatusMethodNotAllowed,
+				apiError{Error: fmt.Sprintf("method %s not allowed (want %s)", r.Method, method)})
+		}))
+	}
+	// Catch-all: unmatched paths would otherwise bypass the
+	// instrumentation entirely — no request log, no latency sample.
+	// They all share the single capped "other" label, so the metric
+	// tables stay bounded under path-scanning traffic (the raw URL still
+	// appears in the debug request log).
+	mux.HandleFunc("/", s.instrument("other", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, notFoundf("no such endpoint %q", r.URL.Path))
+	}))
 	return mux
 }
 
@@ -55,17 +84,36 @@ func (r *statusRecorder) Flush() {
 	}
 }
 
+// instrument wraps a handler with the request-scoped observability
+// layer: a fresh trace ID (or the client's X-Trace-Id), a child logger
+// carrying trace_id/path (and tenant, from X-Tenant, when present)
+// reachable downstream via obs.Logger(ctx), the per-path request
+// counter and the request-latency histogram. path is the bounded label
+// value, not the raw URL.
 func (s *Service) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		traceID := r.Header.Get("X-Trace-Id")
+		if traceID == "" {
+			traceID = obs.NewTraceID()
+		}
+		log := s.log.With("trace_id", traceID, "path", path)
+		if tenant := r.Header.Get("X-Tenant"); tenant != "" {
+			log = log.With("tenant", tenant)
+		}
+		ctx := obs.WithLogger(r.Context(), log)
+		ctx = obs.WithTraceID(ctx, traceID)
+		ctx = obs.WithAcceptTime(ctx, start)
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
-		h(rec, r)
+		h(rec, r.WithContext(ctx))
+		d := time.Since(start)
 		s.metrics.ObserveRequest(path, rec.code)
-		slog.Debug("request",
+		s.metrics.ObserveRequestLatency(path, rec.code, d)
+		log.Debug("request",
 			"method", r.Method,
-			"path", r.URL.Path,
+			"url", r.URL.Path,
 			"status", rec.code,
-			"duration_ms", time.Since(start).Milliseconds(),
+			"duration_ms", d.Milliseconds(),
 			"remote", r.RemoteAddr,
 		)
 	}
@@ -272,7 +320,7 @@ func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	job, err := s.Simulate(req)
+	job, err := s.SimulateCtx(r.Context(), req)
 	if err != nil {
 		writeError(w, err)
 		return

@@ -2,9 +2,13 @@ package service
 
 import (
 	"fmt"
+	"log/slog"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"valleymap/internal/obs"
 )
 
 // JobStatus is the lifecycle state of an async job.
@@ -21,7 +25,10 @@ const (
 // Job is one asynchronous simulation sweep. Cells (workload × scheme
 // pairs) execute across the shared worker pool; Done tracks progress.
 type Job struct {
-	ID       string          `json:"id"`
+	ID string `json:"id"`
+	// TraceID correlates the job with its span trace
+	// (GET /v1/jobs/{id}/trace), its NDJSON events and log lines.
+	TraceID  string          `json:"trace_id,omitempty"`
 	Kind     string          `json:"kind"`
 	Status   JobStatus       `json:"status"`
 	Created  time.Time       `json:"created"`
@@ -49,6 +56,7 @@ type jobStore struct {
 	mu      sync.RWMutex
 	jobs    map[string]*Job
 	buses   map[string]*jobBus
+	traces  map[string]*obs.Trace
 	order   []string // creation order, for eviction
 	maxJobs int
 	nextID  atomic.Int64
@@ -61,13 +69,19 @@ func newJobStore(maxJobs int) *jobStore {
 	if maxJobs < 1 {
 		maxJobs = 1
 	}
-	return &jobStore{jobs: map[string]*Job{}, buses: map[string]*jobBus{}, maxJobs: maxJobs}
+	return &jobStore{
+		jobs:    map[string]*Job{},
+		buses:   map[string]*jobBus{},
+		traces:  map[string]*obs.Trace{},
+		maxJobs: maxJobs,
+	}
 }
 
 // create registers a new job, evicting the oldest finished jobs past
 // the cap. It returns an error when every retained slot holds an
-// in-flight job.
-func (s *jobStore) create(kind string, total int) (*Job, error) {
+// in-flight job. tr is the job's span recorder (may be nil); it — and
+// its retained spans — lives exactly as long as the job entry.
+func (s *jobStore) create(kind string, total int, tr *obs.Trace) (*Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for len(s.jobs) >= s.maxJobs {
@@ -76,6 +90,7 @@ func (s *jobStore) create(kind string, total int) (*Job, error) {
 			if old := s.jobs[id]; old != nil && (old.Status == JobDone || old.Status == JobFailed) {
 				delete(s.jobs, id)
 				delete(s.buses, id)
+				delete(s.traces, id)
 				s.order = append(s.order[:i], s.order[i+1:]...)
 				evicted = true
 				break
@@ -87,6 +102,7 @@ func (s *jobStore) create(kind string, total int) (*Job, error) {
 	}
 	j := &Job{
 		ID:      fmt.Sprintf("job-%d", s.nextID.Add(1)),
+		TraceID: tr.ID(),
 		Kind:    kind,
 		Status:  JobQueued,
 		Created: time.Now().UTC(),
@@ -94,11 +110,27 @@ func (s *jobStore) create(kind string, total int) (*Job, error) {
 	}
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
+	if tr != nil {
+		s.traces[j.ID] = tr
+	}
 	bus := newJobBus()
 	bus.onDrop = s.onDrop
+	bus.traceID = tr.ID()
 	s.buses[j.ID] = bus
 	bus.publish(JobEvent{Type: EventStart, JobID: j.ID, Total: total})
 	return j, nil
+}
+
+// trace returns the job's span recorder. The bool reports whether the
+// job itself is known; a known job may still carry a nil trace (the
+// obs API is nil-safe, so callers need no extra check).
+func (s *jobStore) trace(id string) (*obs.Trace, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, ok := s.jobs[id]; !ok {
+		return nil, false
+	}
+	return s.traces[id], true
 }
 
 // subscribe attaches a subscriber to the job's event stream, replaying
@@ -192,6 +224,9 @@ type pool struct {
 	tasks chan func()
 	busy  atomic.Int64
 	wg    sync.WaitGroup
+	// metrics/log back the panic backstop in run.
+	metrics *Metrics
+	log     *slog.Logger
 	// mu orders submits against close: senders hold the read lock for
 	// the whole check-then-send, so once close holds the write lock and
 	// flips closed, no goroutine can be mid-send on the channel it is
@@ -201,14 +236,17 @@ type pool struct {
 	once   sync.Once
 }
 
-func newPool(workers, queue int, m *Metrics) *pool {
+func newPool(workers, queue int, m *Metrics, log *slog.Logger) *pool {
 	if workers < 1 {
 		workers = 1
 	}
 	if queue < 1 {
 		queue = 1
 	}
-	p := &pool{tasks: make(chan func(), queue)}
+	if log == nil {
+		log = slog.Default()
+	}
+	p := &pool{tasks: make(chan func(), queue), metrics: m, log: log}
 	m.workers = workers
 	m.queueDepth = func() int { return len(p.tasks) }
 	m.workersBusy = func() int { return int(p.busy.Load()) }
@@ -218,12 +256,29 @@ func newPool(workers, queue int, m *Metrics) *pool {
 			defer p.wg.Done()
 			for f := range p.tasks {
 				p.busy.Add(1)
-				f()
+				p.run(f)
 				p.busy.Add(-1)
 			}
 		}()
 	}
 	return p
+}
+
+// run executes one task behind a recover backstop: a task that panics
+// without its own recovery must not kill the shared worker goroutine,
+// which would silently shrink the pool for every later job. The panic
+// is logged with its stack and counted in valleyd_worker_panics_total.
+func (p *pool) run(f func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.metrics.WorkerPanic()
+			p.log.Error("worker panic recovered",
+				"panic", fmt.Sprint(r),
+				"stack", string(debug.Stack()),
+			)
+		}
+	}()
+	f()
 }
 
 // submit enqueues a task, blocking while the queue is full. It reports

@@ -4,15 +4,20 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"valleymap/internal/obs"
 )
 
 // Metrics aggregates service-level counters and gauges and renders them
 // in the plain-text Prometheus exposition format on /metrics. Counters
 // are lock-free; the per-path request table takes a small mutex because
-// the label set is open-ended.
+// the label set is bounded but still keyed by status code. Latency
+// distributions live in obs histograms (lock-free, zero-alloc Observe)
+// registered on reg and rendered after the hand-written families.
 type Metrics struct {
 	mu       sync.Mutex
 	requests map[requestKey]*int64
@@ -37,6 +42,11 @@ type Metrics struct {
 	// lost, the consumer just fell behind the live tail).
 	streamEventsDropped atomic.Int64
 
+	// workerPanics counts panics recovered in sweep cells and the
+	// worker-pool backstop — work that would have killed a worker
+	// goroutine before the recovery wrappers existed.
+	workerPanics atomic.Int64
+
 	// Snapshot persistence: completed snapshot writes, entries loaded
 	// at startup, entries in the most recent write.
 	snapshotSaves   atomic.Int64
@@ -49,12 +59,43 @@ type Metrics struct {
 	workers     int
 	cacheLen    func() int
 	simCacheLen func() int
+
+	// Latency histograms. stageDecode/Coalesce/Accumulate are the
+	// pre-resolved children of stageDur, held so the per-batch streaming
+	// hot path never touches the vec's mutex.
+	reg         *obs.Registry
+	httpDur     *obs.HistogramVec
+	queueWait   *obs.Histogram
+	cellSeconds *obs.Histogram
+	stageDur    *obs.HistogramVec
+
+	stageDecode     *obs.Histogram
+	stageCoalesce   *obs.Histogram
+	stageAccumulate *obs.Histogram
 }
 
 // NewMetrics returns an empty metrics registry. The service wires the
 // gauge sampling funcs when it constructs its pool and cache.
 func NewMetrics() *Metrics {
-	return &Metrics{requests: map[requestKey]*int64{}}
+	m := &Metrics{requests: map[requestKey]*int64{}}
+	m.httpDur = obs.NewHistogramVec("valleyd_http_request_duration_seconds",
+		"HTTP request wall time by path and status code.", []string{"path", "code"}, nil)
+	m.queueWait = obs.NewHistogram("valleyd_queue_wait_seconds",
+		"Time sweep cells spend queued before a pool worker picks them up.", nil)
+	m.cellSeconds = obs.NewHistogram("valleyd_cell_simulation_seconds",
+		"Per-cell wall time inside a sweep (cached cells land in the lowest buckets).", nil)
+	m.stageDur = obs.NewHistogramVec("valleyd_stream_stage_seconds",
+		"Exclusive per-batch wall time of each streaming-pipeline stage.", []string{"stage"}, nil)
+	m.stageDecode = m.stageDur.With("decode")
+	m.stageCoalesce = m.stageDur.With("coalesce")
+	m.stageAccumulate = m.stageDur.With("accumulate")
+	m.reg = obs.NewRegistry()
+	m.reg.Register(m.httpDur)
+	m.reg.Register(m.queueWait)
+	m.reg.Register(m.cellSeconds)
+	m.reg.Register(m.stageDur)
+	m.reg.Register(obs.RuntimeCollector{Prefix: "valleyd"})
+	return m
 }
 
 type requestKey struct {
@@ -62,8 +103,32 @@ type requestKey struct {
 	code int
 }
 
+// knownPaths is the closed set of per-path label values: the routes
+// Handler registers. Anything else — embedders calling ObserveRequest
+// with raw URLs, future unrouted paths — collapses to "other", so the
+// request table and the latency vec stay bounded however hostile the
+// traffic.
+var knownPaths = map[string]struct{}{
+	"/v1/profile":     {},
+	"/v1/advise":      {},
+	"/v1/simulate":    {},
+	"/v1/jobs":        {},
+	"/v1/jobs/events": {},
+	"/v1/jobs/trace":  {},
+	"/healthz":        {},
+	"/metrics":        {},
+}
+
+func capPath(path string) string {
+	if _, ok := knownPaths[path]; ok {
+		return path
+	}
+	return "other"
+}
+
 // ObserveRequest counts one completed HTTP request.
 func (m *Metrics) ObserveRequest(path string, code int) {
+	path = capPath(path)
 	m.mu.Lock()
 	c, ok := m.requests[requestKey{path, code}]
 	if !ok {
@@ -73,6 +138,20 @@ func (m *Metrics) ObserveRequest(path string, code int) {
 	m.mu.Unlock()
 	atomic.AddInt64(c, 1)
 }
+
+// ObserveRequestLatency records one request's wall time in the
+// per-path/status latency histogram, with the same path cap as
+// ObserveRequest.
+func (m *Metrics) ObserveRequestLatency(path string, code int, d time.Duration) {
+	m.httpDur.With(capPath(path), strconv.Itoa(code)).ObserveDuration(d)
+}
+
+// WorkerPanic counts one recovered worker panic (a sweep cell or pool
+// task that panicked instead of returning).
+func (m *Metrics) WorkerPanic() { m.workerPanics.Add(1) }
+
+// WorkerPanics returns the total recovered worker panics.
+func (m *Metrics) WorkerPanics() int64 { return m.workerPanics.Load() }
 
 // CacheHit / CacheMiss count profile-cache outcomes.
 func (m *Metrics) CacheHit()  { m.cacheHits.Add(1) }
@@ -193,6 +272,9 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	add("# HELP valleyd_stream_events_dropped_total Slow-consumer wakeup drops on job event streams (lag accounting; no events are lost).\n")
 	add("# TYPE valleyd_stream_events_dropped_total counter\n")
 	add("valleyd_stream_events_dropped_total %d\n", m.streamEventsDropped.Load())
+	add("# HELP valleyd_worker_panics_total Panics recovered in sweep cells and pool workers.\n")
+	add("# TYPE valleyd_worker_panics_total counter\n")
+	add("valleyd_worker_panics_total %d\n", m.workerPanics.Load())
 	add("# HELP valleyd_sim_cache_snapshot_saves_total Simulation-cache snapshot files written.\n")
 	add("# TYPE valleyd_sim_cache_snapshot_saves_total counter\n")
 	add("valleyd_sim_cache_snapshot_saves_total %d\n", m.snapshotSaves.Load())
@@ -223,6 +305,10 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		}
 		add("valleyd_worker_utilization %g\n", util)
 	}
+
+	// Histograms and runtime gauges render through the obs registry, so
+	// new instruments only need a Register call, not a WriteTo edit.
+	b = m.reg.Collect(b)
 
 	n, err := w.Write(b)
 	return int64(n), err

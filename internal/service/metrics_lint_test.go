@@ -1,0 +1,232 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestMetricsExpositionLint holds the full /metrics document to the
+// Prometheus text-format contract, promlint-style: every family carries
+// exactly one # HELP and one # TYPE line before its first sample,
+// histogram bucket series are cumulative and end at le="+Inf" matching
+// _count, and no series (name + label set) appears twice. Traffic is
+// generated first so every histogram family has live samples.
+func TestMetricsExpositionLint(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// Exercise the instruments: an HTTP request, a profile (streaming
+	// pipeline stages) and a sweep (queue wait + cell seconds).
+	if _, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown paths must be observed too, all folded into path="other"
+	// so scanning traffic can't grow the label table.
+	if _, err := http.Get(ts.URL + "/no/such/endpoint"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(ts.URL + "/also/not/real"); err != nil {
+		t.Fatal(err)
+	}
+	resp := postJSON(t, ts.URL+"/v1/profile", ProfileRequest{Workload: "SP", Scale: "tiny"})
+	resp.Body.Close()
+	job, err := svc.Simulate(SimulateRequest{Workloads: []string{"SP"}, Schemes: []string{"BASE"}, Scale: "tiny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, svc, job.ID)
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("Content-Type = %q, want the version 0.0.4 text exposition type", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lintExposition(t, string(body))
+
+	for _, fam := range []string{
+		"valleyd_http_request_duration_seconds",
+		"valleyd_queue_wait_seconds",
+		"valleyd_cell_simulation_seconds",
+		"valleyd_stream_stage_seconds",
+	} {
+		if !strings.Contains(string(body), "# TYPE "+fam+" histogram") {
+			t.Errorf("histogram family %s missing from /metrics", fam)
+		}
+		if !strings.Contains(string(body), fam+"_count") {
+			t.Errorf("histogram family %s has no samples", fam)
+		}
+	}
+
+	if got := strings.Count(string(body), `valleyd_http_request_duration_seconds_count{path="other",code="404"}`); got != 1 {
+		t.Errorf("unknown paths produced %d path=\"other\" 404 series, want exactly 1 (cap broken?)", got)
+	}
+}
+
+// lintExposition applies the format rules to one exposition document.
+func lintExposition(t *testing.T, body string) {
+	t.Helper()
+	type family struct {
+		help, typ int
+		typName   string
+	}
+	families := map[string]*family{}
+	fam := func(name string) *family {
+		f, ok := families[name]
+		if !ok {
+			f = &family{}
+			families[name] = f
+		}
+		return f
+	}
+	// sampleFamily maps a sample's metric name to its declaring family:
+	// histogram samples use the _bucket/_sum/_count suffixes of the
+	// family that declared TYPE histogram.
+	sampleFamily := func(name string) (string, *family) {
+		if f, ok := families[name]; ok && f.typ > 0 {
+			return name, f
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base == name {
+				continue
+			}
+			if f, ok := families[base]; ok && f.typName == "histogram" {
+				return base, f
+			}
+		}
+		return name, nil
+	}
+
+	seenSeries := map[string]bool{}
+	type bucket struct {
+		le string
+		v  float64
+	}
+	buckets := map[string][]bucket{} // family+labels (minus le) → cumulative counts
+	counts := map[string]float64{}   // family+labels → _count value
+	var bucketOrder []string
+
+	for i, line := range strings.Split(body, "\n") {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, found := strings.Cut(rest, " ")
+			if !found {
+				t.Errorf("line %d: HELP without text: %q", lineNo, line)
+			}
+			fam(name).help++
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, found := strings.Cut(rest, " ")
+			if !found {
+				t.Errorf("line %d: TYPE without a type: %q", lineNo, line)
+				continue
+			}
+			f := fam(name)
+			f.typ++
+			f.typName = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Errorf("line %d: unknown comment form: %q", lineNo, line)
+			continue
+		}
+
+		// Sample line: name{labels} value — split at the last space.
+		cut := strings.LastIndexByte(line, ' ')
+		if cut < 0 {
+			t.Errorf("line %d: sample without a value: %q", lineNo, line)
+			continue
+		}
+		series, valStr := line[:cut], line[cut+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Errorf("line %d: bad sample value %q", lineNo, valStr)
+			continue
+		}
+		if seenSeries[series] {
+			t.Errorf("line %d: duplicate series %q", lineNo, series)
+		}
+		seenSeries[series] = true
+
+		name := series
+		labels := ""
+		if j := strings.IndexByte(series, '{'); j >= 0 {
+			name, labels = series[:j], series[j:]
+		}
+		famName, f := sampleFamily(name)
+		if f == nil {
+			t.Errorf("line %d: sample %q has no # TYPE declaration above it", lineNo, name)
+			continue
+		}
+		if f.help != 1 || f.typ != 1 {
+			t.Errorf("line %d: family %s has %d HELP / %d TYPE lines before this sample, want exactly 1/1",
+				lineNo, famName, f.help, f.typ)
+		}
+
+		if f.typName == "histogram" {
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				le := ""
+				rest := labels
+				for _, pair := range strings.Split(strings.Trim(rest, "{}"), ",") {
+					if v, ok := strings.CutPrefix(pair, `le="`); ok {
+						le = strings.TrimSuffix(v, `"`)
+					}
+				}
+				if le == "" {
+					t.Errorf("line %d: histogram bucket without le label: %q", lineNo, line)
+					continue
+				}
+				rest = strings.ReplaceAll(labels, `le="`+le+`",`, "")
+				rest = strings.ReplaceAll(rest, `,le="`+le+`"`, "")
+				rest = strings.ReplaceAll(rest, `le="`+le+`"`, "")
+				if rest == "{}" {
+					rest = "" // unlabeled family: match the bare _count series
+				}
+				key := famName + "|" + rest
+				if _, ok := buckets[key]; !ok {
+					bucketOrder = append(bucketOrder, key)
+				}
+				buckets[key] = append(buckets[key], bucket{le: le, v: val})
+			case strings.HasSuffix(name, "_count"):
+				counts[famName+"|"+labels] = val
+			}
+		}
+	}
+
+	for _, key := range bucketOrder {
+		bs := buckets[key]
+		last := -1.0
+		for _, b := range bs {
+			if b.v < last {
+				t.Errorf("histogram %s: bucket le=%q count %g below previous %g (not cumulative)", key, b.le, b.v, last)
+			}
+			last = b.v
+		}
+		if bs[len(bs)-1].le != "+Inf" {
+			t.Errorf("histogram %s: last bucket le=%q, want +Inf", key, bs[len(bs)-1].le)
+		}
+		if c, ok := counts[key]; !ok {
+			t.Errorf("histogram %s: no _count series", key)
+		} else if c != bs[len(bs)-1].v {
+			t.Errorf("histogram %s: _count %g != +Inf bucket %g", key, c, bs[len(bs)-1].v)
+		}
+	}
+}

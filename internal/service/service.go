@@ -1,24 +1,30 @@
 package service
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/bits"
 	"runtime"
+	"runtime/debug"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"valleymap/internal/bim"
+	"valleymap/internal/cache"
 	"valleymap/internal/entropy"
 	"valleymap/internal/experiments"
 	"valleymap/internal/gpusim"
 	"valleymap/internal/layout"
 	"valleymap/internal/mapping"
+	"valleymap/internal/obs"
 	"valleymap/internal/trace"
 	"valleymap/internal/workload"
 )
@@ -75,6 +81,10 @@ type Config struct {
 	// (0 = 5 min; < 0 disables periodic writes, keeping only the
 	// on-Close write). Ignored without SimCacheSnapshot.
 	SimCacheSnapshotInterval time.Duration
+	// Logger receives the service's structured logs (nil =
+	// slog.Default()). Request-scoped children carry trace_id, path and
+	// tenant; sweep logs carry job_id and trace_id.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +109,9 @@ func (c Config) withDefaults() Config {
 	if c.SimCacheSnapshotInterval == 0 {
 		c.SimCacheSnapshotInterval = 5 * time.Minute
 	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
 	return c
 }
 
@@ -106,6 +119,7 @@ func (c Config) withDefaults() Config {
 // Close on shutdown.
 type Service struct {
 	cfg      Config
+	log      *slog.Logger
 	metrics  *Metrics
 	cache    *profileCache
 	simCache *simCache
@@ -146,11 +160,12 @@ func New(cfg Config) *Service {
 	m := NewMetrics()
 	s := &Service{
 		cfg:        cfg,
+		log:        cfg.Logger,
 		metrics:    m,
 		cache:      newProfileCache(cfg.CacheEntries, m),
 		simCache:   newSimCache(cfg.SimCacheEntries, m),
 		jobs:       newJobStore(cfg.MaxJobs),
-		pool:       newPool(cfg.Workers, cfg.QueueDepth, m),
+		pool:       newPool(cfg.Workers, cfg.QueueDepth, m, cfg.Logger),
 		profileSem: make(chan struct{}, cfg.Workers),
 		streamSem:  make(chan struct{}, 4*cfg.Workers),
 		start:      time.Now(),
@@ -484,13 +499,22 @@ func (k *kernelCounter) Next() (*trace.Batch, error) {
 
 // profilePipeline drives one pass of the streaming hot path:
 // stream → (coalesce) → (map) → online windowed accumulator.
+// Each stage is wrapped in a TimedStream (exclusive per-batch wall
+// time, nested stages subtracted) feeding the
+// valleyd_stream_stage_seconds histogram; the accumulator — not a
+// Stream — reports through the fold hook instead.
 func (s *Service) profilePipeline(st trace.Stream, opt profileOptions) (entropy.Profile, int, error) {
 	kc := &kernelCounter{s: st}
-	var in trace.Stream = kc
+	decode := trace.NewTimedStream(kc, nil, s.metrics.stageDecode.ObserveDuration)
+	var in trace.Stream = decode
 	if opt.lineBytes > 0 {
-		in = trace.CoalesceStream(in, opt.lineBytes)
+		in = trace.NewTimedStream(trace.CoalesceStream(in, opt.lineBytes), decode, s.metrics.stageCoalesce.ObserveDuration)
 	}
-	sopt := entropy.StreamOptions{Window: opt.window, Bits: opt.bits}
+	sopt := entropy.StreamOptions{
+		Window: opt.window,
+		Bits:   opt.bits,
+		OnFold: s.metrics.stageAccumulate.ObserveDuration,
+	}
 	if opt.scheme != "" {
 		m, err := mapping.New(opt.scheme, layout.HynixGDDR5(), mapping.Options{Seed: opt.seed})
 		if err != nil {
@@ -874,6 +898,29 @@ func (s *Service) resolveSweep(req SimulateRequest) ([]workload.Spec, []mapping.
 // Simulate validates the sweep, enqueues it on the worker pool and
 // returns the queued job. Poll Job for progress and results.
 func (s *Service) Simulate(req SimulateRequest) (Job, error) {
+	return s.SimulateCtx(context.Background(), req)
+}
+
+// spanCapFor sizes a sweep's span ring: root + enqueue plus up to six
+// spans per cell, floored so tiny sweeps never drop and capped so a
+// full-catalog sweep cannot grow the ring past the obs default.
+func spanCapFor(totalCells int) int {
+	n := 2 + 6*totalCells
+	if n < 64 {
+		n = 64
+	}
+	if n > 4096 {
+		n = 4096
+	}
+	return n
+}
+
+// SimulateCtx is Simulate with request-scoped observability: the job
+// adopts the context's trace ID (obs.WithTraceID; one is minted when
+// absent) and records a span trace — HTTP accept, enqueue, per-cell
+// queue wait, trace build, engine run and cache put — served afterwards
+// by GET /v1/jobs/{id}/trace and JobTrace.
+func (s *Service) SimulateCtx(ctx context.Context, req SimulateRequest) (Job, error) {
 	specs, schemes, cfg, cfgName, scale, scaleName, err := s.resolveSweep(req)
 	if err != nil {
 		return Job{}, err
@@ -895,12 +942,27 @@ func (s *Service) Simulate(req SimulateRequest) (Job, error) {
 	s.sweepWG.Add(1)
 	s.closeMu.Unlock()
 
+	traceID := obs.TraceID(ctx)
+	if traceID == "" {
+		traceID = obs.NewTraceID()
+	}
 	total := len(specs) * len(schemes)
-	job, err := s.jobs.create("simulate", total)
+	tr := obs.NewTrace(traceID, spanCapFor(total))
+	// The root span starts at the HTTP accept instant when the handler
+	// recorded one, so accept-to-enqueue time is visible in the tree.
+	root := tr.StartAt(0, "job", obs.AcceptTime(ctx),
+		obs.Attr{Key: "kind", Value: "simulate"},
+		obs.Attr{Key: "config", Value: cfgName},
+		obs.Attr{Key: "scale", Value: scaleName},
+	)
+	enq := tr.Start(root.ID(), "enqueue")
+	job, err := s.jobs.create("simulate", total, tr)
 	if err != nil {
 		s.sweepWG.Done()
 		return Job{}, overloadedError{err.Error()}
 	}
+	enq.Annotate(obs.Attr{Key: "job_id", Value: job.ID})
+	enq.End()
 	s.metrics.jobsEnqueued.Add(1)
 
 	result := &SimulateResult{
@@ -924,7 +986,7 @@ func (s *Service) Simulate(req SimulateRequest) (Job, error) {
 	// the sweep finishes and is evicted under churn before we re-read,
 	// this creation-time copy is still a valid handle for the client.
 	created := *job
-	go s.runSweep(job.ID, specs, schemes, cfg, scale, seed, result)
+	go s.runSweep(job.ID, specs, schemes, cfg, scale, seed, result, tr, root)
 	if snap, ok := s.jobs.get(job.ID); ok {
 		return snap, nil
 	}
@@ -956,8 +1018,9 @@ func (sa *sharedApp) get(sp workload.Spec, scale workload.Scale) *trace.App {
 	return sa.app
 }
 
-func (s *Service) runSweep(jobID string, specs []workload.Spec, schemes []mapping.Scheme, cfg gpusim.Config, scale workload.Scale, seed int64, result *SimulateResult) {
+func (s *Service) runSweep(jobID string, specs []workload.Spec, schemes []mapping.Scheme, cfg gpusim.Config, scale workload.Scale, seed int64, result *SimulateResult, tr *obs.Trace, root obs.SpanRef) {
 	defer s.sweepWG.Done()
+	defer root.End()
 	start := time.Now()
 	s.jobs.setRunning(jobID)
 	var (
@@ -979,23 +1042,66 @@ submit:
 		sp := specs[wi]
 		for si, sc := range schemes {
 			si, sc := si, sc
+			submitAt := time.Now()
 			wg.Add(1)
 			task := func() {
 				defer wg.Done()
 				cellStart := time.Now()
+				s.metrics.queueWait.ObserveDuration(cellStart.Sub(submitAt))
+				cellSpan := tr.StartAt(root.ID(), "cell", submitAt,
+					obs.Attr{Key: "workload", Value: sp.Abbr},
+					obs.Attr{Key: "scheme", Value: string(sc)},
+				)
+				qw := tr.StartAt(cellSpan.ID(), "queue_wait", submitAt)
+				qw.EndAt(cellStart)
 				defer func() {
 					if r := recover(); r != nil {
+						s.metrics.WorkerPanic()
+						s.log.Error("sweep cell panic recovered",
+							"job_id", jobID,
+							"trace_id", tr.ID(),
+							"workload", sp.Abbr,
+							"scheme", string(sc),
+							"panic", fmt.Sprint(r),
+							"stack", string(debug.Stack()),
+						)
+						cellSpan.Annotate(obs.Attr{Key: "panic", Value: fmt.Sprint(r)})
+						cellSpan.End()
 						fail(fmt.Errorf("simulating %s under %s: %v", sp.Abbr, sc, r))
 					}
 				}()
+				// putSpan covers the cache insert after the compute closure
+				// returns; it stays the inert zero SpanRef on cache hits.
+				var putSpan obs.SpanRef
 				cell, hit, err := s.simCache.GetOrCompute(
 					simCellKey(sp.Abbr, result.Scale, sc, result.Config, seed),
 					func() (*simCell, error) {
 						simStart := time.Now()
+						build := tr.Start(cellSpan.ID(), "trace_build")
 						app := sa.get(sp, scale)
+						build.End()
 						m := mapping.MustNew(sc, cfg.Layout, mapping.Options{Seed: seed})
 						r := runnerPool.Get().(*gpusim.Runner)
+						eng := tr.Start(cellSpan.ID(), "engine_run")
+						var setup, kernels, collect time.Duration
+						r.SetStageObserver(func(stage string, d time.Duration) {
+							switch stage {
+							case gpusim.StageSetup:
+								setup = d
+							case gpusim.StageKernels:
+								kernels = d
+							case gpusim.StageCollect:
+								collect = d
+							}
+						})
 						res := r.Run(app, m, cfg)
+						r.SetStageObserver(nil)
+						eng.Annotate(
+							obs.Attr{Key: "setup_us", Value: strconv.FormatInt(setup.Microseconds(), 10)},
+							obs.Attr{Key: "kernels_us", Value: strconv.FormatInt(kernels.Microseconds(), 10)},
+							obs.Attr{Key: "collect_us", Value: strconv.FormatInt(collect.Microseconds(), 10)},
+						)
+						eng.End()
 						runnerPool.Put(r)
 						// The shared build must come back untouched, or it
 						// would poison this workload's remaining cells and
@@ -1003,10 +1109,31 @@ submit:
 						if got := sa.app.Requests(); got != sa.reqs {
 							return nil, fmt.Errorf("simulating %s under %s mutated the shared trace: %d requests became %d", sp.Abbr, sc, sa.reqs, got)
 						}
+						putSpan = tr.Start(cellSpan.ID(), "cache_put")
 						return &simCell{Res: experiments.FlattenResult(res), Seconds: time.Since(simStart).Seconds()}, nil
 					})
+				putSpan.End()
 				if err != nil {
+					// A panic inside the compute closure surfaces as a
+					// cache.PanicError (the cache recovers it to keep the
+					// in-flight coalescing sane); account for it as a crash
+					// with the stack from the panic site.
+					var pe *cache.PanicError
+					if errors.As(err, &pe) {
+						s.metrics.WorkerPanic()
+						s.log.Error("sweep cell panic recovered",
+							"job_id", jobID,
+							"trace_id", tr.ID(),
+							"workload", sp.Abbr,
+							"scheme", string(sc),
+							"panic", fmt.Sprint(pe.Value),
+							"stack", string(pe.Stack),
+						)
+						cellSpan.Annotate(obs.Attr{Key: "panic", Value: fmt.Sprint(pe.Value)})
+					}
 					fail(err)
+					cellSpan.Annotate(obs.Attr{Key: "error", Value: err.Error()})
+					cellSpan.End()
 					return
 				}
 				done := CellResult{
@@ -1016,6 +1143,9 @@ submit:
 					Cached:     hit,
 					ResultJSON: cell.Res,
 				}
+				s.metrics.cellSeconds.Observe(done.Seconds)
+				cellSpan.Annotate(obs.Attr{Key: "cached", Value: strconv.FormatBool(hit)})
+				cellSpan.End()
 				result.Cells[wi*len(schemes)+si] = done
 				if !hit {
 					s.metrics.cellsSimulated.Add(1)
@@ -1039,12 +1169,18 @@ submit:
 	if firstErr != nil {
 		s.metrics.jobsFailed.Add(1)
 		s.jobs.finish(jobID, nil, firstErr)
+		s.log.Warn("sweep failed",
+			"job_id", jobID, "trace_id", tr.ID(),
+			"duration_ms", elapsed.Milliseconds(), "error", firstErr)
 		return
 	}
 	result.Seconds = elapsed.Seconds()
 	aggregateSweep(result)
 	s.metrics.jobsDone.Add(1)
 	s.jobs.finish(jobID, result, nil)
+	s.log.Debug("sweep done",
+		"job_id", jobID, "trace_id", tr.ID(),
+		"cells", len(result.Cells), "duration_ms", elapsed.Milliseconds())
 }
 
 // aggregateSweep fills speedups vs BASE and per-scheme harmonic means

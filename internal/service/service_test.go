@@ -207,16 +207,16 @@ func TestProfileSeedIgnoredWithoutScheme(t *testing.T) {
 
 func TestJobStoreEvictsFinishedAndBoundsInflight(t *testing.T) {
 	js := newJobStore(2)
-	a, err := js.create("simulate", 1)
+	a, err := js.create("simulate", 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	js.finish(a.ID, nil, nil)
-	b, err := js.create("simulate", 1) // in flight: must never be evicted
+	b, err := js.create("simulate", 1, nil) // in flight: must never be evicted
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := js.create("simulate", 1) // at cap: evicts finished a
+	c, err := js.create("simulate", 1, nil) // at cap: evicts finished a
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,11 +229,11 @@ func TestJobStoreEvictsFinishedAndBoundsInflight(t *testing.T) {
 		}
 	}
 	// Cap full of in-flight jobs: creation must fail, not grow the store.
-	if _, err := js.create("simulate", 1); err == nil {
+	if _, err := js.create("simulate", 1, nil); err == nil {
 		t.Error("create with a cap full of in-flight jobs must error")
 	}
 	js.finish(b.ID, nil, nil)
-	if _, err := js.create("simulate", 1); err != nil {
+	if _, err := js.create("simulate", 1, nil); err != nil {
 		t.Errorf("create after a job finished must succeed, got %v", err)
 	}
 }
@@ -274,7 +274,7 @@ func TestSimulateAfterCloseRejected(t *testing.T) {
 
 func TestPoolSubmitAfterClose(t *testing.T) {
 	m := NewMetrics()
-	p := newPool(2, 4, m)
+	p := newPool(2, 4, m, nil)
 	done := make(chan struct{})
 	if !p.submit(func() { close(done) }) {
 		t.Fatal("submit before close must succeed")

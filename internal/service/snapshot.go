@@ -26,7 +26,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log/slog"
 	"os"
 	"path/filepath"
 	"time"
@@ -117,30 +116,30 @@ func (s *Service) encodeCurrentSnapshot() ([]byte, int, error) {
 func (s *Service) saveSimCacheSnapshot() {
 	data, count, err := s.encodeCurrentSnapshot()
 	if err != nil {
-		slog.Warn("sim-cache snapshot encode failed", "error", err)
+		s.log.Warn("sim-cache snapshot encode failed", "error", err)
 		return
 	}
 	path := s.cfg.SimCacheSnapshot
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
-		slog.Warn("sim-cache snapshot write failed", "path", path, "error", err)
+		s.log.Warn("sim-cache snapshot write failed", "path", path, "error", err)
 		return
 	}
 	_, werr := tmp.Write(data)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
-		slog.Warn("sim-cache snapshot write failed", "path", path, "error", errors.Join(werr, cerr))
+		s.log.Warn("sim-cache snapshot write failed", "path", path, "error", errors.Join(werr, cerr))
 		return
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
-		slog.Warn("sim-cache snapshot rename failed", "path", path, "error", err)
+		s.log.Warn("sim-cache snapshot rename failed", "path", path, "error", err)
 		return
 	}
 	s.metrics.snapshotSaves.Add(1)
 	s.metrics.snapshotEntries.Store(int64(count))
-	slog.Debug("sim-cache snapshot saved", "path", path, "entries", count)
+	s.log.Debug("sim-cache snapshot saved", "path", path, "entries", count)
 }
 
 // loadSimCacheSnapshot rehydrates the sim cache from the configured
@@ -151,13 +150,13 @@ func (s *Service) loadSimCacheSnapshot() {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if !errors.Is(err, os.ErrNotExist) {
-			slog.Warn("sim-cache snapshot unreadable, starting cold", "path", path, "error", err)
+			s.log.Warn("sim-cache snapshot unreadable, starting cold", "path", path, "error", err)
 		}
 		return
 	}
 	entries, err := decodeSnapshot(data)
 	if err != nil {
-		slog.Warn("sim-cache snapshot invalid, starting cold", "path", path, "error", err)
+		s.log.Warn("sim-cache snapshot invalid, starting cold", "path", path, "error", err)
 		return
 	}
 	for i := range entries {
@@ -165,7 +164,7 @@ func (s *Service) loadSimCacheSnapshot() {
 		s.simCache.Add(entries[i].Key, &cell)
 	}
 	s.metrics.snapshotLoaded.Store(int64(len(entries)))
-	slog.Info("sim-cache snapshot loaded", "path", path, "entries", len(entries))
+	s.log.Info("sim-cache snapshot loaded", "path", path, "entries", len(entries))
 }
 
 // snapshotLoop persists the sim cache every SimCacheSnapshotInterval

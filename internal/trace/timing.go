@@ -1,0 +1,57 @@
+package trace
+
+import "time"
+
+// TimedStream wraps a Stream and reports the exclusive wall time of
+// each Next call — the time spent in this stage itself, minus the time
+// the stage spent pulling from a nested TimedStream below it. Stacking
+// one TimedStream per pipeline stage therefore yields per-stage
+// latencies that add up to the pipeline total instead of multiply
+// counting nested work:
+//
+//	decode := trace.NewTimedStream(csvStream, nil, observeDecode)
+//	coal := trace.NewTimedStream(trace.CoalesceStream(decode, 128), decode, observeCoalesce)
+//
+// A TimedStream is single-goroutine, like every Stream.
+type TimedStream struct {
+	inner   Stream
+	nested  *TimedStream // innermost timed stage this one pulls from
+	observe func(time.Duration)
+	elapsed time.Duration // cumulative inclusive time (this stage + below)
+}
+
+// NewTimedStream wraps inner, calling observe with the exclusive
+// duration of each Next. nested, when non-nil, must be the TimedStream
+// that inner (transitively) pulls from: its inclusive time is
+// subtracted so only this stage's own work is reported. observe may be
+// nil to make the stage a pure accounting point for an outer stage.
+func NewTimedStream(inner Stream, nested *TimedStream, observe func(time.Duration)) *TimedStream {
+	return &TimedStream{inner: inner, nested: nested, observe: observe}
+}
+
+// Elapsed returns the cumulative inclusive time spent in this stage and
+// everything below it.
+func (t *TimedStream) Elapsed() time.Duration { return t.elapsed }
+
+// Next pulls one batch from the wrapped stream, timing it.
+func (t *TimedStream) Next() (*Batch, error) {
+	var nestedBefore time.Duration
+	if t.nested != nil {
+		nestedBefore = t.nested.elapsed
+	}
+	start := time.Now()
+	b, err := t.inner.Next()
+	d := time.Since(start)
+	t.elapsed += d
+	if t.observe != nil {
+		excl := d
+		if t.nested != nil {
+			excl -= t.nested.elapsed - nestedBefore
+			if excl < 0 {
+				excl = 0
+			}
+		}
+		t.observe(excl)
+	}
+	return b, err
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// slowStream yields batches after a fixed busy-wait, so stage times are
+// measurable and deterministic in ordering.
+type slowStream struct {
+	inner Stream
+	delay time.Duration
+}
+
+func (s *slowStream) Next() (*Batch, error) {
+	start := time.Now()
+	for time.Since(start) < s.delay {
+	}
+	return s.inner.Next()
+}
+
+func TestTimedStreamPassesBatchesThrough(t *testing.T) {
+	const csv = "K,k0,2,0\nR,0,0,R,100\nR,0,1,W,200\n"
+	want, err := ReadCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTimedStream(NewCSVStream(strings.NewReader(csv)), nil, nil)
+	got, err := Collect(sourceFunc(func() Stream { return ts }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Requests() != want.Requests() || len(got.Kernels) != len(want.Kernels) {
+		t.Fatalf("timed stream changed the trace: %d reqs/%d kernels, want %d/%d",
+			got.Requests(), len(got.Kernels), want.Requests(), len(want.Kernels))
+	}
+	if ts.Elapsed() <= 0 {
+		t.Error("Elapsed() = 0 after draining")
+	}
+}
+
+type sourceFunc func() Stream
+
+func (f sourceFunc) Stream() Stream   { return f() }
+func (f sourceFunc) Info() SourceInfo { return SourceInfo{Name: "test", Abbr: "T", InsnPerAccess: 1} }
+
+func TestTimedStreamExclusiveAccounting(t *testing.T) {
+	const csv = "K,k0,2,0\nR,0,0,R,100\nR,1,0,R,200\nR,2,0,R,300\n"
+	var innerTotal, outerTotal time.Duration
+	inner := NewTimedStream(
+		&slowStream{inner: NewCSVStream(strings.NewReader(csv)), delay: 2 * time.Millisecond},
+		nil,
+		func(d time.Duration) { innerTotal += d },
+	)
+	outer := NewTimedStream(
+		&slowStream{inner: inner, delay: 2 * time.Millisecond},
+		inner,
+		func(d time.Duration) { outerTotal += d },
+	)
+	for {
+		_, err := outer.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if innerTotal <= 0 || outerTotal <= 0 {
+		t.Fatalf("stage totals = %v / %v, want both > 0", innerTotal, outerTotal)
+	}
+	// The outer stage's exclusive time must not swallow the inner
+	// stage's busy-wait: each stage waits ~2ms per pull, so exclusive
+	// totals should be commensurate, not 2:1 nested double counting.
+	if outerTotal > innerTotal*3 || innerTotal > outerTotal*3 {
+		t.Errorf("exclusive stage times look nested, not exclusive: inner=%v outer=%v", innerTotal, outerTotal)
+	}
+	if got := outer.Elapsed(); got < innerTotal {
+		t.Errorf("outer inclusive %v < inner exclusive %v", got, innerTotal)
+	}
+}

@@ -2,6 +2,7 @@ package valleymap
 
 import (
 	"io"
+	"log/slog"
 	"runtime"
 
 	"valleymap/internal/bim"
@@ -10,6 +11,7 @@ import (
 	"valleymap/internal/gpusim"
 	"valleymap/internal/layout"
 	"valleymap/internal/mapping"
+	"valleymap/internal/obs"
 	"valleymap/internal/power"
 	"valleymap/internal/service"
 	"valleymap/internal/sim"
@@ -428,8 +430,22 @@ const (
 	ServiceEventFailed = service.EventFailed
 )
 
+// ServiceJobTrace is the span tree of one sweep job: accept → enqueue →
+// per-cell queue wait → trace build → engine run → cache put, served
+// over HTTP as GET /v1/jobs/{id}/trace and in-process via
+// Service.JobTrace.
+type ServiceJobTrace = service.JobTrace
+
 // NewService starts a service engine (its worker pool runs until Close).
 // With ServiceConfig.SimCacheSnapshot set, the simulation-result cache
 // persists across restarts (loaded on construction, saved periodically
 // and on Close).
 func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// NewLogger builds a structured slog logger writing to w. format is
+// "text" or "json"; level is debug|info|warn|error. Pass the result as
+// ServiceConfig.Logger so the daemon's request logs, worker-panic
+// reports and sweep lifecycle lines share one sink.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	return obs.NewLogger(w, format, level)
+}
