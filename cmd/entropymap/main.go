@@ -4,12 +4,16 @@
 //
 // Traces are profiled through the streaming pipeline (generate/decode →
 // coalesce → online windowed profile), so -trace handles files far
-// larger than memory at O(window × bits) footprint.
+// larger than memory at O(window × bits) footprint. Both trace
+// containers are accepted (sniffed by magic): CSV streams through the
+// tokenizing decoder, VTRC binary (see cmd/tracepack) is mmapped and
+// profiled zero-copy.
 //
 // Usage:
 //
 //	entropymap -bench MT [-scheme PAE] [-window 12] [-scale small] [-seed 1]
 //	entropymap -trace dump.csv [-scheme PAE] [-window 12]
+//	entropymap -trace dump.vtrc
 package main
 
 import (
@@ -28,24 +32,25 @@ func bar(v float64) string {
 
 func main() {
 	bench := flag.String("bench", "MT", "benchmark abbreviation (Table II)")
-	traceFile := flag.String("trace", "", "analyze a CSV trace file instead of a packaged benchmark")
+	traceFile := flag.String("trace", "", "analyze a trace file (CSV or VTRC binary, sniffed) instead of a packaged benchmark")
 	scheme := flag.String("scheme", "", "optional mapping scheme applied before analysis")
 	window := flag.Int("window", 12, "window size w (TBs executing concurrently)")
 	scale := flag.String("scale", "small", "trace scale: tiny, small, full")
 	seed := flag.Int64("seed", 1, "BIM seed")
 	flag.Parse()
 
-	// Both inputs stream: the generator emits TB by TB, the CSV decoder
-	// yields batches as the file is read. Nothing materializes the trace.
+	// Both inputs stream: the generator emits TB by TB, file decoders
+	// yield batches as the file is read (binary files are mmapped and
+	// served zero-copy). Nothing materializes the trace.
 	var src valleymap.TraceSource
 	if *traceFile != "" {
-		f, err := os.Open(*traceFile)
+		s, release, err := valleymap.OpenTraceFile(*traceFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		defer f.Close()
-		src = valleymap.StreamTraceCSV(f)
+		defer release() //nolint:errcheck // read-only handle
+		src = s
 	} else {
 		spec, ok := valleymap.WorkloadByAbbr(strings.ToUpper(*bench))
 		if !ok {

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	valleyd [-addr :8080] [-workers N] [-queue 256] [-cache 512] [-sim-cache 256]
-//	        [-max-trace-bytes N] [-snapshot PATH] [-snapshot-interval 5m]
+//	        [-max-trace-bytes N] [-trace-dir DIR] [-snapshot PATH] [-snapshot-interval 5m]
 //	        [-log-level info] [-log-format text] [-debug-addr :6060]
 //
 // Endpoints:
@@ -24,7 +24,12 @@
 // Trace uploads stream through the profiling pipeline at O(window × bits)
 // memory per request, so the body cap (413 limit) defaults to 256 MiB —
 // it bounds bandwidth, not memory — and can be raised further with
-// -max-trace-bytes.
+// -max-trace-bytes. Bodies may be CSV (text/csv, the default) or the
+// VTRC binary container (Content-Type: application/x-valley-trace, see
+// cmd/tracepack); both formats hash to the same canonical identity, so
+// they share cache entries. With -trace-dir, requests can instead name
+// local files ({"trace_file":"x.vtrc"}); binary files are then profiled
+// zero-copy via mmap with no HTTP body at all.
 //
 // With -snapshot, the simulation-result cache is durable: valleyd loads
 // the snapshot file on startup and rewrites it every -snapshot-interval
@@ -62,6 +67,7 @@ func main() {
 	cacheEntries := flag.Int("cache", 0, "profile-cache entries (0 = 512)")
 	simCacheEntries := flag.Int("sim-cache", 0, "simulation-result cache entries (0 = 256)")
 	maxTraceBytes := flag.Int64("max-trace-bytes", 0, "uploaded trace body cap in bytes (0 = 256 MiB; uploads stream, so this bounds bandwidth, not memory)")
+	traceDir := flag.String("trace-dir", "", "directory of local trace files; enables {\"trace_file\":\"name\"} profile requests that mmap VTRC binaries zero-copy instead of uploading the body (empty = disabled)")
 	snapshot := flag.String("snapshot", "", "simulation-cache snapshot file (empty = no persistence); loaded on startup, written periodically and on shutdown")
 	snapshotInterval := flag.Duration("snapshot-interval", 0, "time between periodic snapshot writes (0 = 5m; negative = only on shutdown)")
 	logLevel := flag.String("log-level", "info", "log threshold: debug, info, warn or error")
@@ -86,6 +92,7 @@ func main() {
 		CacheEntries:             *cacheEntries,
 		SimCacheEntries:          *simCacheEntries,
 		MaxTraceBytes:            *maxTraceBytes,
+		TraceDir:                 *traceDir,
 		SimCacheSnapshot:         *snapshot,
 		SimCacheSnapshotInterval: *snapshotInterval,
 		Logger:                   logger,

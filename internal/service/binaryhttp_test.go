@@ -1,0 +1,261 @@
+package service
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"valleymap/internal/trace"
+	"valleymap/internal/workload"
+)
+
+// sampleTraceBodies renders one workload in both container formats.
+func sampleTraceBodies(t *testing.T) (csv, bin []byte) {
+	t.Helper()
+	spec, _ := workload.ByAbbr("SP")
+	app := spec.Build(workload.Tiny)
+	var cbuf, bbuf bytes.Buffer
+	if err := trace.WriteCSV(&cbuf, app); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteBinary(&bbuf, app); err != nil {
+		t.Fatal(err)
+	}
+	return cbuf.Bytes(), bbuf.Bytes()
+}
+
+func postTrace(t *testing.T, url, contentType string, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestHTTPProfileFormatCacheParity is the cache-sharing acceptance
+// test: a CSV upload and the binary conversion of the same trace hash
+// to the same canonical identity, so the second upload — whatever its
+// container — hits the cache entry the first one populated, under the
+// same cache key.
+func TestHTTPProfileFormatCacheParity(t *testing.T) {
+	_, ts := newTestServer(t)
+	csv, bin := sampleTraceBodies(t)
+
+	resp := postTrace(t, ts.URL+"/v1/profile?window=12", "text/csv", csv)
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("csv upload: status = %d: %s", resp.StatusCode, b)
+	}
+	var first struct {
+		ProfileResult
+		CacheHit bool `json:"cache_hit"`
+	}
+	decodeBody(t, resp, &first)
+	if first.CacheHit {
+		t.Error("first upload must miss")
+	}
+	if first.Trace.SHA256 == "" {
+		t.Fatal("csv upload reported no content hash")
+	}
+
+	resp2 := postTrace(t, ts.URL+"/v1/profile?window=12", binaryTraceMediaType, bin)
+	if resp2.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp2.Body)
+		t.Fatalf("binary upload: status = %d: %s", resp2.StatusCode, b)
+	}
+	var second struct {
+		ProfileResult
+		CacheHit bool `json:"cache_hit"`
+	}
+	decodeBody(t, resp2, &second)
+	if !second.CacheHit {
+		t.Error("binary upload of the same trace must hit the CSV upload's cache entry")
+	}
+	if second.Trace.SHA256 != first.Trace.SHA256 {
+		t.Errorf("content hash differs across containers: %s vs %s", second.Trace.SHA256, first.Trace.SHA256)
+	}
+	if second.CacheKey != first.CacheKey {
+		t.Errorf("cache key differs across containers: %s vs %s", second.CacheKey, first.CacheKey)
+	}
+}
+
+// TestHTTPProfileBinaryBodyLimit: MaxTraceBytes bounds binary uploads
+// exactly like CSV ones — at-limit bodies profile, anything past the
+// cap is 413 even when it still decodes cleanly.
+func TestHTTPProfileBinaryBodyLimit(t *testing.T) {
+	_, bin := sampleTraceBodies(t)
+	cases := []struct {
+		name  string
+		limit int64
+		want  int
+	}{
+		{"at limit", int64(len(bin)), http.StatusOK},
+		{"one byte over", int64(len(bin)) - 1, http.StatusRequestEntityTooLarge},
+		{"far over", 64, http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			svc := New(Config{Workers: 1, MaxTraceBytes: tc.limit})
+			ts := httptest.NewServer(svc.Handler())
+			t.Cleanup(func() {
+				ts.Close()
+				svc.Close()
+			})
+			resp := postTrace(t, ts.URL+"/v1/profile", binaryTraceMediaType, bin)
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				b, _ := io.ReadAll(resp.Body)
+				t.Fatalf("status = %d, want %d: %s", resp.StatusCode, tc.want, b)
+			}
+		})
+	}
+}
+
+// TestHTTPProfileBinaryBadInputs: damaged binary bodies are 400s, never
+// 500s and never partial profiles.
+func TestHTTPProfileBinaryBadInputs(t *testing.T) {
+	_, ts := newTestServer(t)
+	_, bin := sampleTraceBodies(t)
+	truncated := bin[:len(bin)-5]
+	corrupted := append([]byte(nil), bin...)
+	corrupted[len(corrupted)-1] ^= 0xff // checksum no longer matches
+
+	for name, body := range map[string][]byte{
+		"garbage":           []byte("not a vtrc file"),
+		"empty":             {},
+		"truncated":         truncated,
+		"bad checksum":      corrupted,
+		"csv as binary":     []byte("K,k,1,0\nR,0,0,R,40\n"),
+		"version from 2035": {'V', 'T', 'R', 'C', 9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+	} {
+		t.Run(name, func(t *testing.T) {
+			resp := postTrace(t, ts.URL+"/v1/profile", binaryTraceMediaType, body)
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				b, _ := io.ReadAll(resp.Body)
+				t.Fatalf("status = %d, want 400: %s", resp.StatusCode, b)
+			}
+		})
+	}
+}
+
+// TestHTTPSimulateRejectsTraceBodies: trace uploads belong to
+// /v1/profile; sending one to /v1/simulate is a caller error and must
+// say so instead of failing on JSON decode noise.
+func TestHTTPSimulateRejectsTraceBodies(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, ct := range []string{"text/csv", binaryTraceMediaType} {
+		resp := postTrace(t, ts.URL+"/v1/simulate", ct, []byte("K,k,1,0\n"))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", ct, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestHTTPProfileTraceFile covers -trace-dir ingestion: a request
+// naming a local VTRC file profiles it via mmap and lands on the same
+// content-addressed cache entry body uploads use.
+func TestHTTPProfileTraceFile(t *testing.T) {
+	csv, bin := sampleTraceBodies(t)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "sp.vtrc"), bin, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "sp.csv"), csv, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	svc := New(Config{Workers: 2, TraceDir: dir})
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+
+	// Populate the cache with a CSV body upload...
+	resp := postTrace(t, ts.URL+"/v1/profile", "text/csv", csv)
+	var first struct {
+		ProfileResult
+		CacheHit bool `json:"cache_hit"`
+	}
+	decodeBody(t, resp, &first)
+
+	// ...then profile the packed file: must hit that same entry.
+	for _, name := range []string{"sp.vtrc", "sp.csv"} {
+		resp := postJSON(t, ts.URL+"/v1/profile", ProfileRequest{TraceFile: name})
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("%s: status = %d: %s", name, resp.StatusCode, b)
+		}
+		var env struct {
+			ProfileResult
+			CacheHit bool `json:"cache_hit"`
+		}
+		decodeBody(t, resp, &env)
+		if !env.CacheHit {
+			t.Errorf("%s: trace_file profile must hit the upload's cache entry", name)
+		}
+		if env.CacheKey != first.CacheKey {
+			t.Errorf("%s: cache key %s != upload key %s", name, env.CacheKey, first.CacheKey)
+		}
+	}
+
+	// Failure modes.
+	cases := []struct {
+		name string
+		req  ProfileRequest
+		want int
+	}{
+		{"missing file", ProfileRequest{TraceFile: "nope.vtrc"}, http.StatusNotFound},
+		{"path traversal", ProfileRequest{TraceFile: "../sp.vtrc"}, http.StatusBadRequest},
+		{"absolute path", ProfileRequest{TraceFile: "/etc/passwd"}, http.StatusBadRequest},
+		{"combined with workload", ProfileRequest{TraceFile: "sp.vtrc", Workload: "MT"}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp := postJSON(t, ts.URL+"/v1/profile", tc.req)
+		if resp.StatusCode != tc.want {
+			b, _ := io.ReadAll(resp.Body)
+			t.Errorf("%s: status = %d, want %d: %s", tc.name, resp.StatusCode, tc.want, b)
+		}
+		resp.Body.Close()
+	}
+
+	// Without -trace-dir the feature is off entirely.
+	_, plain := newTestServer(t)
+	resp = postJSON(t, plain.URL+"/v1/profile", ProfileRequest{TraceFile: "sp.vtrc"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unconfigured trace_file: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHTTPProfileBinaryStreamStageMetrics: binary uploads account their
+// pipeline stages under format="binary", CSV under format="csv".
+func TestHTTPProfileBinaryStreamStageMetrics(t *testing.T) {
+	_, ts := newTestServer(t)
+	csv, bin := sampleTraceBodies(t)
+	postTrace(t, ts.URL+"/v1/profile", "text/csv", csv).Body.Close()
+	postTrace(t, ts.URL+"/v1/profile", binaryTraceMediaType, bin).Body.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	text := string(b)
+	for _, want := range []string{
+		`valleyd_stream_stage_seconds_count{stage="decode",format="csv"}`,
+		`valleyd_stream_stage_seconds_count{stage="decode",format="binary"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+}

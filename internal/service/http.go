@@ -194,68 +194,95 @@ type profileEnvelope struct {
 	CacheHit bool `json:"cache_hit"`
 }
 
-func (s *Service) handleProfile(w http.ResponseWriter, r *http.Request) {
-	// Media types are case-insensitive (RFC 9110 §8.3).
+// mediaType extracts the request's media type, lowercased and with
+// parameters stripped (media types are case-insensitive, RFC 9110 §8.3).
+func mediaType(r *http.Request) string {
 	ct := strings.ToLower(r.Header.Get("Content-Type"))
 	if i := strings.IndexByte(ct, ';'); i >= 0 {
 		ct = ct[:i]
 	}
+	return strings.TrimSpace(ct)
+}
+
+// binaryTraceMediaType negotiates VTRC binary trace bodies; CSV stays
+// the default for text bodies.
+const binaryTraceMediaType = "application/x-valley-trace"
+
+func (s *Service) handleProfile(w http.ResponseWriter, r *http.Request) {
 	var (
-		res *ProfileResult
-		hit bool
-		err error
+		res  *ProfileResult
+		hit  bool
+		done bool
+		err  error
 	)
-	switch strings.TrimSpace(ct) {
+	switch mediaType(r) {
 	case "text/csv", "text/plain":
 		// Streaming upload: the body flows through decoder → coalescer →
 		// accumulator in one pass, hashed incrementally, so memory stays
 		// O(window × bits) however long the trace is. Analysis options
 		// ride in query parameters.
-		var req ProfileRequest
-		if err := profileQueryOptions(r, &req); err != nil {
-			writeError(w, err)
-			return
-		}
-		// The decoder may trip on the truncated final line before the
-		// reader's limit error surfaces, so classify by bytes consumed.
-		// The reader allows one byte past the cap: a decode failure with
-		// n > cap means the body was oversize and truncated, while a
-		// malformed trace of exactly cap bytes still reports 400.
-		cr := &countingReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxTraceBytes+1)}
-		res, hit, err = s.ProfileStream(cr, req)
-		if err != nil {
-			var mbe *http.MaxBytesError
-			if errors.As(err, &mbe) || cr.n > s.cfg.MaxTraceBytes {
-				writeJSON(w, http.StatusRequestEntityTooLarge,
-					apiError{Error: fmt.Sprintf("trace exceeds %d byte limit", s.cfg.MaxTraceBytes)})
-				return
-			}
-			if !errors.As(err, new(badRequestError)) {
-				err = badRequestf("bad trace: %v", err)
-			}
-			writeError(w, err)
-			return
-		}
-		// The reader's one-byte allowance is diagnostic only; a body
-		// that parsed but exceeds the cap is still oversize.
-		if cr.n > s.cfg.MaxTraceBytes {
-			writeJSON(w, http.StatusRequestEntityTooLarge,
-				apiError{Error: fmt.Sprintf("trace exceeds %d byte limit", s.cfg.MaxTraceBytes)})
-			return
-		}
+		res, hit, done = s.streamProfileBody(w, r, s.ProfileStream)
+	case binaryTraceMediaType:
+		// Same streaming path, VTRC binary decoder; the canonical hash
+		// makes it land on the cache entries CSV uploads populate.
+		res, hit, done = s.streamProfileBody(w, r, s.ProfileStreamBinary)
 	default:
 		var req ProfileRequest
-		if err := decodeJSON(r, &req, s.traceBodyLimit()); err != nil {
+		if err = decodeJSON(r, &req, s.traceBodyLimit()); err != nil {
 			writeError(w, err)
 			return
 		}
 		res, hit, err = s.Profile(req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
 	}
-	if err != nil {
-		writeError(w, err)
-		return
+	if done {
+		return // streamProfileBody already wrote the error response
 	}
 	writeJSON(w, http.StatusOK, profileEnvelope{ProfileResult: res, CacheHit: hit})
+}
+
+// streamProfileBody runs one streaming trace upload — profile selects
+// the container decoder — under the shared MaxTraceBytes accounting,
+// identical for CSV and binary bodies. done reports that an error
+// response was already written.
+func (s *Service) streamProfileBody(w http.ResponseWriter, r *http.Request,
+	profile func(io.Reader, ProfileRequest) (*ProfileResult, bool, error)) (res *ProfileResult, hit, done bool) {
+	var req ProfileRequest
+	if err := profileQueryOptions(r, &req); err != nil {
+		writeError(w, err)
+		return nil, false, true
+	}
+	// The decoder may trip on the truncated final record before the
+	// reader's limit error surfaces, so classify by bytes consumed.
+	// The reader allows one byte past the cap: a decode failure with
+	// n > cap means the body was oversize and truncated, while a
+	// malformed trace of exactly cap bytes still reports 400.
+	cr := &countingReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxTraceBytes+1)}
+	res, hit, err := profile(cr, req)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) || cr.n > s.cfg.MaxTraceBytes {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				apiError{Error: fmt.Sprintf("trace exceeds %d byte limit", s.cfg.MaxTraceBytes)})
+			return nil, false, true
+		}
+		if !errors.As(err, new(badRequestError)) {
+			err = badRequestf("bad trace: %v", err)
+		}
+		writeError(w, err)
+		return nil, false, true
+	}
+	// The reader's one-byte allowance is diagnostic only; a body
+	// that parsed but exceeds the cap is still oversize.
+	if cr.n > s.cfg.MaxTraceBytes {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			apiError{Error: fmt.Sprintf("trace exceeds %d byte limit", s.cfg.MaxTraceBytes)})
+		return nil, false, true
+	}
+	return res, hit, false
 }
 
 // countingReader tracks bytes delivered, so size-limit hits can be
@@ -310,6 +337,13 @@ func (s *Service) handleAdvise(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	// Simulate sweeps built-in workloads; it never carries a trace
+	// body, so trace media types are rejected explicitly instead of
+	// being fed to the JSON decoder's confusing syntax error.
+	if ct := mediaType(r); ct == binaryTraceMediaType || ct == "text/csv" {
+		writeError(w, badRequestf("/v1/simulate takes a JSON body (trace uploads go to /v1/profile); got Content-Type %q", ct))
+		return
+	}
 	stream := r.URL.Query().Get("stream")
 	if stream != "" && stream != "0" && stream != "1" {
 		writeError(w, badRequestf("bad stream %q (want 0 or 1)", stream))

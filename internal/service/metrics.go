@@ -60,8 +60,8 @@ type Metrics struct {
 	cacheLen    func() int
 	simCacheLen func() int
 
-	// Latency histograms. stageDecode/Coalesce/Accumulate are the
-	// pre-resolved children of stageDur, held so the per-batch streaming
+	// Latency histograms. stageCSV/Binary/Native are the pre-resolved
+	// per-format children of stageDur, held so the per-batch streaming
 	// hot path never touches the vec's mutex.
 	reg         *obs.Registry
 	httpDur     *obs.HistogramVec
@@ -69,9 +69,16 @@ type Metrics struct {
 	cellSeconds *obs.Histogram
 	stageDur    *obs.HistogramVec
 
-	stageDecode     *obs.Histogram
-	stageCoalesce   *obs.Histogram
-	stageAccumulate *obs.Histogram
+	stageCSV    stageSet
+	stageBinary stageSet
+	stageNative stageSet
+}
+
+// stageSet holds one ingest format's pre-resolved streaming-stage
+// histograms (format label values: csv, binary — VTRC decode or mmap —
+// and native for in-process trace generators/materialized apps).
+type stageSet struct {
+	decode, coalesce, accumulate *obs.Histogram
 }
 
 // NewMetrics returns an empty metrics registry. The service wires the
@@ -85,10 +92,17 @@ func NewMetrics() *Metrics {
 	m.cellSeconds = obs.NewHistogram("valleyd_cell_simulation_seconds",
 		"Per-cell wall time inside a sweep (cached cells land in the lowest buckets).", nil)
 	m.stageDur = obs.NewHistogramVec("valleyd_stream_stage_seconds",
-		"Exclusive per-batch wall time of each streaming-pipeline stage.", []string{"stage"}, nil)
-	m.stageDecode = m.stageDur.With("decode")
-	m.stageCoalesce = m.stageDur.With("coalesce")
-	m.stageAccumulate = m.stageDur.With("accumulate")
+		"Exclusive per-batch wall time of each streaming-pipeline stage, by trace container format.", []string{"stage", "format"}, nil)
+	stages := func(format string) stageSet {
+		return stageSet{
+			decode:     m.stageDur.With("decode", format),
+			coalesce:   m.stageDur.With("coalesce", format),
+			accumulate: m.stageDur.With("accumulate", format),
+		}
+	}
+	m.stageCSV = stages("csv")
+	m.stageBinary = stages("binary")
+	m.stageNative = stages("native")
 	m.reg = obs.NewRegistry()
 	m.reg.Register(m.httpDur)
 	m.reg.Register(m.queueWait)

@@ -2,13 +2,13 @@ package service
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"log/slog"
 	"math/bits"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"sort"
@@ -71,6 +71,11 @@ type Config struct {
 	// MaxJobs bounds retained jobs; finished jobs beyond the cap are
 	// evicted oldest-first (0 = 1000).
 	MaxJobs int
+	// TraceDir, when set, enables ProfileRequest.TraceFile: profile
+	// requests may name trace files (CSV or VTRC binary, sniffed by
+	// magic) inside this directory, so local multi-GB traces take the
+	// zero-copy mmap path instead of an HTTP body copy.
+	TraceDir string
 	// SimCacheSnapshot, when set, makes the simulation-result cache
 	// durable: the file is loaded on startup (a missing, truncated,
 	// corrupt or wrong-version file loads as a clean empty cache) and
@@ -239,6 +244,10 @@ func notFoundf(format string, args ...any) error {
 type ProfileRequest struct {
 	Workload string `json:"workload,omitempty"`
 	TraceCSV string `json:"trace_csv,omitempty"`
+	// TraceFile names a trace file (CSV or VTRC binary) inside the
+	// server's configured trace directory (Config.TraceDir); binary
+	// files are profiled zero-copy via mmap. Bare file names only.
+	TraceFile string `json:"trace_file,omitempty"`
 	// Scale selects built-in trace size: tiny, small (default), full.
 	Scale string `json:"scale,omitempty"`
 	// Window, Bits, LineBytes mirror AnalysisOptions (0 = 12/30/128).
@@ -358,6 +367,10 @@ func (s *Service) Profile(req ProfileRequest) (*ProfileResult, bool, error) {
 	switch {
 	case req.Workload != "" && req.TraceCSV != "":
 		return nil, false, badRequestf("give either workload or trace_csv, not both")
+	case req.TraceFile != "" && (req.Workload != "" || req.TraceCSV != ""):
+		return nil, false, badRequestf("trace_file cannot be combined with workload or trace_csv")
+	case req.TraceFile != "":
+		return s.profileFile(req.TraceFile, opt)
 	case req.Workload != "":
 		spec, ok := workload.ByAbbr(req.Workload)
 		if !ok {
@@ -371,15 +384,17 @@ func (s *Service) Profile(req ProfileRequest) (*ProfileResult, bool, error) {
 	case req.TraceCSV != "":
 		// The embedded trace is already in memory, so — unlike the
 		// network streaming path — its content hash is cheap to take up
-		// front: repeat uploads hit the cache without re-profiling, and
-		// misses stream the string through the one-pass pipeline under
-		// the cache's in-flight coalescing.
-		h := sha256.New()
-		io.WriteString(h, req.TraceCSV) //nolint:errcheck // hash writes cannot fail
-		sum := hex.EncodeToString(h.Sum(nil))
-		res, hit, err := s.cachedProfile(opt.cacheKey("tr:"+sum), opt, func() (trace.Source, TraceInfo, error) {
+		// front (one decode pass, no profiling): repeat uploads hit the
+		// cache without re-profiling, and because the key hashes the
+		// canonical record stream rather than the raw bytes, a binary
+		// (VTRC) upload of the same trace hits the same entry.
+		sum, err := trace.CanonicalHash(trace.NewCSVStreamUnhashed(strings.NewReader(req.TraceCSV)))
+		if err != nil {
+			return nil, false, badRequestf("bad trace: %v", err)
+		}
+		res, hit, err := s.cachedProfile(opt.cacheKey("tr:"+sum), opt, &s.metrics.stageCSV, func() (trace.Source, TraceInfo, error) {
 			// Unhashed: the identity was just taken above; a second
-			// tee through SHA-256 would be pure waste.
+			// canonical fold would be pure waste.
 			cs := trace.NewCSVStreamUnhashed(strings.NewReader(req.TraceCSV))
 			info := cs.Info()
 			return cs, TraceInfo{Name: info.Name, Abbr: info.Abbr, SHA256: sum}, nil
@@ -399,23 +414,47 @@ func (s *Service) Profile(req ProfileRequest) (*ProfileResult, bool, error) {
 // trace length, and the content hash accumulates incrementally as bytes
 // are consumed. Decode errors are returned unwrapped so HTTP handlers
 // can classify size-limit errors; the cache is keyed by the incremental
-// hash, exactly like the materialized upload path, so identical uploads
-// still share one stored profile (the second return reports a hit).
+// canonical hash, exactly like the materialized upload path, so
+// identical uploads still share one stored profile (the second return
+// reports a hit).
 func (s *Service) ProfileStream(r io.Reader, req ProfileRequest) (*ProfileResult, bool, error) {
 	opt, err := req.options()
 	if err != nil {
 		return nil, false, err
 	}
-	// Uploads take streamSem, not profileSem: a streamed pipeline holds
-	// only O(window × bits) but reads the client's body mid-compute, so
+	return s.profileOneShot(trace.NewCSVStream(r), opt, &s.metrics.stageCSV)
+}
+
+// ProfileStreamBinary is ProfileStream for VTRC binary bodies. The two
+// share cache entries: both key by the canonical record-stream hash, so
+// a CSV upload and its binary conversion dedupe to one stored profile.
+func (s *Service) ProfileStreamBinary(r io.Reader, req ProfileRequest) (*ProfileResult, bool, error) {
+	opt, err := req.options()
+	if err != nil {
+		return nil, false, err
+	}
+	return s.profileOneShot(trace.NewBinaryStream(r), opt, &s.metrics.stageBinary)
+}
+
+// hashedTraceStream is the single-shot decoder shape the container
+// formats share: a Stream that knows the trace's canonical content
+// digest once drained.
+type hashedTraceStream interface {
+	trace.Stream
+	SHA256() string
+	Info() trace.SourceInfo
+}
+
+func (s *Service) profileOneShot(cs hashedTraceStream, opt profileOptions, stages *stageSet) (*ProfileResult, bool, error) {
+	// One-shot pipelines take streamSem, not profileSem: they hold only
+	// O(window × bits) but may read a client's body mid-compute, so
 	// under profileSem a few slow transfers would starve every other
 	// profile computation; unbounded, a burst of uploads would
 	// oversubscribe the CPU. streamSem (4 × Workers slots) bounds the
 	// burst while leaving profileSem's slots to the O(trace) builders.
 	s.streamSem <- struct{}{}
 	defer func() { <-s.streamSem }()
-	cs := trace.NewCSVStream(r)
-	prof, kernels, err := s.profilePipeline(cs, opt)
+	prof, kernels, err := s.profilePipeline(cs, opt, stages)
 	if err != nil {
 		return nil, false, err
 	}
@@ -431,6 +470,41 @@ func (s *Service) ProfileStream(r io.Reader, req ProfileRequest) (*ProfileResult
 	// Clients that want compute-free repeats should re-request by
 	// workload abbreviation or keep the returned profile.
 	return s.cache.GetOrCompute(key, func() (*ProfileResult, error) { return res, nil })
+}
+
+// profileFile profiles a trace file from the configured trace
+// directory. Binary (VTRC) files take the restartable mmap zero-copy
+// path and are keyed by the checksum read at open, so a cached profile
+// costs one open + validate and no profiling pass; CSV files fall back
+// to the one-shot streaming pipeline. Only bare file names inside
+// TraceDir are accepted.
+func (s *Service) profileFile(name string, opt profileOptions) (*ProfileResult, bool, error) {
+	if s.cfg.TraceDir == "" {
+		return nil, false, badRequestf("trace_file requires the service to be configured with a trace directory")
+	}
+	if name != filepath.Base(name) || name == "." || name == ".." {
+		return nil, false, badRequestf("trace_file must be a bare file name inside the trace directory, got %q", name)
+	}
+	src, release, err := trace.OpenFile(filepath.Join(s.cfg.TraceDir, name))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, false, notFoundf("no trace file %q in the trace directory", name)
+		}
+		return nil, false, badRequestf("bad trace file %q: %v", name, err)
+	}
+	defer release() //nolint:errcheck // read-only mapping/handle
+	if ms, ok := src.(*trace.MmapSource); ok {
+		sum := ms.SHA256()
+		return s.cachedProfile(opt.cacheKey("tr:"+sum), opt, &s.metrics.stageBinary, func() (trace.Source, TraceInfo, error) {
+			info := ms.Info()
+			return ms, TraceInfo{Name: info.Name, Abbr: info.Abbr, SHA256: sum}, nil
+		})
+	}
+	res, hit, err := s.profileOneShot(src.(*trace.CSVStream), opt, &s.metrics.stageCSV)
+	if err != nil && !errors.As(err, new(badRequestError)) {
+		err = badRequestf("bad trace file %q: %v", name, err)
+	}
+	return res, hit, err
 }
 
 // ProfileTrace profiles an already-decoded trace under its content
@@ -449,21 +523,21 @@ func (s *Service) ProfileTrace(app *trace.App, sha string, req ProfileRequest) (
 // (advise reuses profiles /v1/profile already computed, and vice versa).
 func (s *Service) workloadProfile(spec workload.Spec, scaleName string, opt profileOptions, source func() trace.Source) (*ProfileResult, bool, error) {
 	key := opt.cacheKey("wl:" + spec.Abbr + ":" + scaleName)
-	return s.cachedProfile(key, opt, func() (trace.Source, TraceInfo, error) {
+	return s.cachedProfile(key, opt, &s.metrics.stageNative, func() (trace.Source, TraceInfo, error) {
 		return source(), TraceInfo{Name: spec.Name, Abbr: spec.Abbr, Scale: scaleName}, nil
 	})
 }
 
 func (s *Service) profileUpload(app *trace.App, sha string, opt profileOptions) (*ProfileResult, bool, error) {
 	key := opt.cacheKey("tr:" + sha)
-	return s.cachedProfile(key, opt, func() (trace.Source, TraceInfo, error) {
+	return s.cachedProfile(key, opt, &s.metrics.stageNative, func() (trace.Source, TraceInfo, error) {
 		return trace.AppSource(app), TraceInfo{Name: app.Name, Abbr: app.Abbr, SHA256: sha}, nil
 	})
 }
 
 // cachedProfile computes a profile through the streaming pipeline under
 // the cache's in-flight coalescing, bounded by the profile semaphore.
-func (s *Service) cachedProfile(key string, opt profileOptions, build func() (trace.Source, TraceInfo, error)) (*ProfileResult, bool, error) {
+func (s *Service) cachedProfile(key string, opt profileOptions, stages *stageSet, build func() (trace.Source, TraceInfo, error)) (*ProfileResult, bool, error) {
 	return s.cache.GetOrCompute(key, func() (*ProfileResult, error) {
 		s.profileSem <- struct{}{}
 		defer func() { <-s.profileSem }()
@@ -471,7 +545,7 @@ func (s *Service) cachedProfile(key string, opt profileOptions, build func() (tr
 		if err != nil {
 			return nil, err
 		}
-		prof, kernels, err := s.profilePipeline(src.Stream(), opt)
+		prof, kernels, err := s.profilePipeline(src.Stream(), opt, stages)
 		if err != nil {
 			return nil, err
 		}
@@ -501,19 +575,20 @@ func (k *kernelCounter) Next() (*trace.Batch, error) {
 // stream → (coalesce) → (map) → online windowed accumulator.
 // Each stage is wrapped in a TimedStream (exclusive per-batch wall
 // time, nested stages subtracted) feeding the
-// valleyd_stream_stage_seconds histogram; the accumulator — not a
-// Stream — reports through the fold hook instead.
-func (s *Service) profilePipeline(st trace.Stream, opt profileOptions) (entropy.Profile, int, error) {
+// valleyd_stream_stage_seconds histogram under the ingest format's
+// label set; the accumulator — not a Stream — reports through the fold
+// hook instead.
+func (s *Service) profilePipeline(st trace.Stream, opt profileOptions, stages *stageSet) (entropy.Profile, int, error) {
 	kc := &kernelCounter{s: st}
-	decode := trace.NewTimedStream(kc, nil, s.metrics.stageDecode.ObserveDuration)
+	decode := trace.NewTimedStream(kc, nil, stages.decode.ObserveDuration)
 	var in trace.Stream = decode
 	if opt.lineBytes > 0 {
-		in = trace.NewTimedStream(trace.CoalesceStream(in, opt.lineBytes), decode, s.metrics.stageCoalesce.ObserveDuration)
+		in = trace.NewTimedStream(trace.CoalesceStream(in, opt.lineBytes), decode, stages.coalesce.ObserveDuration)
 	}
 	sopt := entropy.StreamOptions{
 		Window: opt.window,
 		Bits:   opt.bits,
-		OnFold: s.metrics.stageAccumulate.ObserveDuration,
+		OnFold: stages.accumulate.ObserveDuration,
 	}
 	if opt.scheme != "" {
 		m, err := mapping.New(opt.scheme, layout.HynixGDDR5(), mapping.Options{Seed: opt.seed})
@@ -666,6 +741,8 @@ func (s *Service) Advise(req AdviseRequest) (*AdviseResult, error) {
 	switch {
 	case req.TraceCSV != "" && req.Workload != "":
 		return nil, badRequestf("give either workload or trace_csv, not both")
+	case req.TraceFile != "" && (req.TraceCSV != "" || req.Workload != ""):
+		return nil, badRequestf("trace_file cannot be combined with workload or trace_csv")
 	case req.TraceCSV != "":
 		app, sum, err := trace.ReadCSVHashed(strings.NewReader(req.TraceCSV))
 		if err != nil {

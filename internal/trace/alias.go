@@ -1,0 +1,42 @@
+package trace
+
+import "unsafe"
+
+// canAliasRequests reports whether Request's in-memory layout matches
+// the on-disk VTRC record bit for bit on this platform: 16 bytes, Addr
+// at offset 0, Kind at 8, Warp at 12, little-endian integers. When it
+// does, validated record bytes can be served as []Request without any
+// decode or copy at all.
+var canAliasRequests = func() bool {
+	var r Request
+	if unsafe.Sizeof(r) != recordBytes {
+		return false
+	}
+	if unsafe.Offsetof(r.Addr) != 0 || unsafe.Offsetof(r.Kind) != 8 || unsafe.Offsetof(r.Warp) != 12 {
+		return false
+	}
+	x := uint32(0x01020304)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x04 // little-endian
+}()
+
+// aliasRequests reinterprets raw — whole, already-validated VTRC
+// request records — as a []Request without copying. ok is false when
+// the platform layout does not match or raw is not aligned for Request;
+// callers then fall back to copyRecords, so big-endian or
+// exotically-padded platforms stay correct, just not zero-copy. The
+// result aliases raw: it is read-only (the package-wide batch contract
+// already forbids mutation) and lives only as long as raw does.
+func aliasRequests(raw []byte) ([]Request, bool) {
+	if !canAliasRequests {
+		return nil, false
+	}
+	n := len(raw) / recordBytes
+	if n == 0 {
+		return nil, true
+	}
+	p := unsafe.Pointer(unsafe.SliceData(raw))
+	if uintptr(p)%unsafe.Alignof(Request{}) != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*Request)(p), n), true
+}

@@ -1,0 +1,601 @@
+package trace
+
+// VTRC binary trace container: the zero-parse counterpart of the CSV
+// format. Fixed-width little-endian records mean ingest is a
+// bounds-check plus (at most) a 16-byte copy per request instead of
+// tokenize + strconv per field, and the canonical record-stream hash
+// doubles as both the file checksum and the content-addressed cache
+// identity shared with CSV uploads. See doc.go for the full layout and
+// the format-stability contract.
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+)
+
+const (
+	binaryMagic   = "VTRC"
+	binaryVersion = 1
+
+	secKernel = 1
+	secTB     = 2
+	secEnd    = 3
+
+	// recordBytes is the fixed width of one request record:
+	// addr u64, kind u8, 3 zero bytes, warp i32.
+	recordBytes = 16
+
+	// maxKernelName bounds kernel-name lengths, mirroring the CSV
+	// scanner's 1 MB line cap, so a corrupt length field cannot force a
+	// huge allocation.
+	maxKernelName = 1 << 20
+)
+
+// binaryHeader is the fixed 16-byte file header: magic, version, zero
+// padding to the first 8-byte boundary of the section area.
+var binaryHeader = func() [16]byte {
+	var h [16]byte
+	copy(h[:], binaryMagic)
+	h[4] = binaryVersion
+	return h
+}()
+
+// ---------------------------------------------------------------------
+// Canonical record-stream hash
+// ---------------------------------------------------------------------
+
+// canonFold accumulates the canonical record-stream digest (doc.go):
+// the VTRC byte stream minus tb request counts and minus the end
+// section. It needs only O(batch) scratch, so every decoder — CSV,
+// binary, materialized — folds it incrementally while streaming.
+type canonFold struct {
+	h   hash.Hash
+	buf []byte
+}
+
+func newCanonFold() *canonFold {
+	c := &canonFold{h: sha256.New()}
+	c.h.Write(binaryHeader[:])
+	return c
+}
+
+// raw folds already-encoded canonical bytes (the binary reader/writer
+// path, which has section bytes in hand).
+func (c *canonFold) raw(b []byte) { c.h.Write(b) }
+
+// kernel folds one kernel section.
+func (c *canonFold) kernel(k *KernelInfo) {
+	c.buf = appendKernelSection(c.buf[:0], k)
+	c.h.Write(c.buf)
+}
+
+// tbStart folds a tb section header (tag + id; counts are not part of
+// the canonical stream). It goes through the reusable buffer rather
+// than a stack array: the interface write would force a stack array to
+// escape, costing one allocation per TB.
+func (c *canonFold) tbStart(id int) {
+	c.buf = append(c.buf[:0], 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.LittleEndian.PutUint64(c.buf[0:8], secTB)
+	binary.LittleEndian.PutUint64(c.buf[8:16], uint64(int64(id)))
+	c.h.Write(c.buf)
+}
+
+// requests folds a run of request records.
+func (c *canonFold) requests(rs []Request) {
+	c.buf = appendRequests(c.buf[:0], rs)
+	c.h.Write(c.buf)
+}
+
+// batch folds one stream batch, dispatching on its shape.
+func (c *canonFold) batch(b *Batch) {
+	if b.Kernel != nil {
+		c.kernel(b.Kernel)
+		return
+	}
+	if b.TBStart {
+		c.tbStart(b.TBID)
+	}
+	c.requests(b.Requests)
+}
+
+func (c *canonFold) sum() [sha256.Size]byte {
+	var s [sha256.Size]byte
+	c.h.Sum(s[:0])
+	return s
+}
+
+func (c *canonFold) sumHex() string {
+	s := c.sum()
+	return hex.EncodeToString(s[:])
+}
+
+// CanonicalHash drains one pass of src and returns its canonical
+// record-stream digest — the identity CSVStream.SHA256,
+// BinaryStream.SHA256, MmapSource.SHA256 and a VTRC end section all
+// report for the same records, regardless of container format or batch
+// boundaries.
+func CanonicalHash(src Source) (string, error) {
+	c := newCanonFold()
+	st := src.Stream()
+	for {
+		b, err := st.Next()
+		if err == io.EOF {
+			return c.sumHex(), nil
+		}
+		if err != nil {
+			return "", err
+		}
+		c.batch(b)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Encoding helpers (shared by the writer and the canonical hasher)
+// ---------------------------------------------------------------------
+
+// appendKernelSection appends one complete kernel section (tag, warps,
+// gap, name length, name, zero padding to 8 bytes).
+func appendKernelSection(dst []byte, k *KernelInfo) []byte {
+	var b [8]byte
+	le := binary.LittleEndian
+	le.PutUint64(b[:], secKernel)
+	dst = append(dst, b[:]...)
+	le.PutUint64(b[:], uint64(int64(k.WarpsPerTB)))
+	dst = append(dst, b[:]...)
+	le.PutUint64(b[:], uint64(int64(k.ComputeGapCycles)))
+	dst = append(dst, b[:]...)
+	le.PutUint64(b[:], uint64(len(k.Name)))
+	dst = append(dst, b[:]...)
+	dst = append(dst, k.Name...)
+	for pad := namePad(len(k.Name)); pad > 0; pad-- {
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
+func namePad(nameLen int) int { return (8 - nameLen%8) % 8 }
+
+// appendRequests appends fixed-width request records.
+func appendRequests(dst []byte, rs []Request) []byte {
+	for i := range rs {
+		var b [recordBytes]byte
+		binary.LittleEndian.PutUint64(b[0:8], rs[i].Addr)
+		b[8] = byte(rs[i].Kind)
+		binary.LittleEndian.PutUint32(b[12:16], uint32(rs[i].Warp))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+// validateRecords checks every fixed-width record in raw (whose length
+// must be a multiple of recordBytes): known kind, zero padding,
+// non-negative warp. It is the binary counterpart of the CSV field
+// parsers; addresses, like in CSV, are unrestricted here (App.Validate
+// owns bit-width checks).
+func validateRecords(raw []byte) error {
+	for i := 0; i+recordBytes <= len(raw); i += recordBytes {
+		if raw[i+8] > 1 {
+			return fmt.Errorf("bad request kind %d", raw[i+8])
+		}
+		if raw[i+9]|raw[i+10]|raw[i+11] != 0 {
+			return fmt.Errorf("nonzero request padding")
+		}
+		if raw[i+15]&0x80 != 0 {
+			return fmt.Errorf("negative warp %d", int32(binary.LittleEndian.Uint32(raw[i+12:i+16])))
+		}
+	}
+	return nil
+}
+
+// copyRecords decodes validated records into *dst (grown as needed),
+// the portable fallback when aliasing is unavailable.
+func copyRecords(raw []byte, dst *[]Request) []Request {
+	n := len(raw) / recordBytes
+	if cap(*dst) < n {
+		*dst = make([]Request, n)
+	}
+	rs := (*dst)[:n]
+	for i := 0; i < n; i++ {
+		rec := raw[i*recordBytes:]
+		rs[i] = Request{
+			Addr: binary.LittleEndian.Uint64(rec[0:8]),
+			Kind: Kind(rec[8]),
+			Warp: int32(binary.LittleEndian.Uint32(rec[12:16])),
+		}
+	}
+	return rs
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+// binaryWriter emits VTRC sections while folding the canonical hash for
+// the end-section checksum. Write errors are sticky in the bufio layer
+// and surface at end().
+type binaryWriter struct {
+	bw  *bufio.Writer
+	c   *canonFold
+	buf []byte
+}
+
+func newBinaryWriter(w io.Writer) *binaryWriter {
+	b := &binaryWriter{bw: bufio.NewWriterSize(w, 1<<16), c: newCanonFold()}
+	b.bw.Write(binaryHeader[:]) // the hasher folds the header at construction
+	return b
+}
+
+func (w *binaryWriter) kernel(k *KernelInfo) {
+	w.buf = appendKernelSection(w.buf[:0], k)
+	w.bw.Write(w.buf)
+	w.c.raw(w.buf)
+}
+
+func (w *binaryWriter) tb(id int, reqs []Request) {
+	var b [24]byte
+	le := binary.LittleEndian
+	le.PutUint64(b[0:8], secTB)
+	le.PutUint64(b[8:16], uint64(int64(id)))
+	le.PutUint64(b[16:24], uint64(len(reqs)))
+	w.bw.Write(b[:])
+	w.c.raw(b[:16]) // the count is not part of the canonical stream
+	for len(reqs) > 0 {
+		n := len(reqs)
+		if n > maxBatchRequests {
+			n = maxBatchRequests
+		}
+		w.buf = appendRequests(w.buf[:0], reqs[:n])
+		w.bw.Write(w.buf)
+		w.c.raw(w.buf)
+		reqs = reqs[n:]
+	}
+}
+
+func (w *binaryWriter) end() error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], secEnd)
+	w.bw.Write(b[:])
+	sum := w.c.sum()
+	w.bw.Write(sum[:])
+	return w.bw.Flush()
+}
+
+// WriteBinary streams the application trace in the VTRC binary format.
+// Like WriteCSV it encodes what it is given — decoded or Validate()d
+// traces roundtrip; structurally invalid ones (non-positive warp
+// counts, descending TB ids) produce files the decoder rejects.
+func WriteBinary(w io.Writer, a *App) error {
+	bw := newBinaryWriter(w)
+	for ki := range a.Kernels {
+		k := &a.Kernels[ki]
+		hdr := KernelInfo{Name: k.Name, WarpsPerTB: k.WarpsPerTB, ComputeGapCycles: k.ComputeGapCycles}
+		bw.kernel(&hdr)
+		for ti := range k.TBs {
+			bw.tb(k.TBs[ti].ID, k.TBs[ti].Requests)
+		}
+	}
+	return bw.end()
+}
+
+// WriteBinaryStream drains a Stream into the VTRC binary format without
+// materializing the trace: a tb section carries its request count up
+// front, so the writer holds one TB's requests at a time (O(largest TB)
+// memory) and everything else passes through. The stream must follow
+// the package header-first convention; headerless streams encode to a
+// file the decoder rejects.
+func WriteBinaryStream(w io.Writer, s Stream) error {
+	bw := newBinaryWriter(w)
+	var (
+		reqs []Request
+		tbID int
+		inTB bool
+	)
+	flushTB := func() {
+		if inTB {
+			bw.tb(tbID, reqs)
+			reqs = reqs[:0]
+			inTB = false
+		}
+	}
+	for {
+		b, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if b.Kernel != nil {
+			flushTB()
+			bw.kernel(b.Kernel)
+			continue
+		}
+		if b.TBStart {
+			flushTB()
+		}
+		if !inTB {
+			inTB = true
+			tbID = b.TBID
+		}
+		reqs = append(reqs, b.Requests...)
+	}
+	flushTB()
+	return bw.end()
+}
+
+// ---------------------------------------------------------------------
+// Streaming decoder
+// ---------------------------------------------------------------------
+
+// BinaryStream is a single-shot streaming decoder of the VTRC binary
+// trace format, the counterpart of CSVStream: it implements both Stream
+// and Source (Stream returns the decoder itself; it cannot be rewound),
+// enforces the same structural rules as the CSV decoder, folds the
+// canonical content digest incrementally, and verifies it against the
+// end-section checksum before reporting io.EOF — damaged input fails
+// cleanly, it never yields a silently truncated trace.
+type BinaryStream struct {
+	br  *bufio.Reader
+	c   *canonFold
+	err error // sticky terminal state: io.EOF or a decode error
+
+	started     bool
+	kernelIndex int
+	kernels     int
+	haveTB      bool
+	curTB       int
+
+	remaining uint64 // request records left in the current tb section
+	tbFirst   bool   // the next chunk is its TB's first batch
+
+	raw     []byte
+	reqs    []Request
+	batch   Batch
+	hdr     KernelInfo
+	scratch [8]byte // fixed-width field buffer; a field so it never escapes
+}
+
+// NewBinaryStream starts decoding the VTRC trace on r. Decoding is
+// lazy: bytes are consumed as batches are pulled. (The read buffer is
+// deliberately smaller than the 64 KiB record chunk buffer: bulk record
+// reads bypass it via ReadFull's large-read path, so it only ever holds
+// section headers.)
+func NewBinaryStream(r io.Reader) *BinaryStream {
+	return &BinaryStream{br: bufio.NewReaderSize(r, 1<<14), c: newCanonFold(), kernelIndex: -1}
+}
+
+// Info returns the metadata of an imported trace, mirroring CSVStream
+// (application metadata is not part of either container format).
+func (s *BinaryStream) Info() SourceInfo {
+	return SourceInfo{Name: "imported", Abbr: "IMP", InsnPerAccess: 1}
+}
+
+// Stream returns the decoder itself; a BinaryStream is single-shot.
+func (s *BinaryStream) Stream() Stream { return s }
+
+// SHA256 returns the canonical record-stream digest. It is the
+// content-addressed identity of the trace once Next has returned io.EOF
+// (at which point it has also been verified against the file checksum);
+// calling it earlier hashes only the prefix decoded so far.
+func (s *BinaryStream) SHA256() string { return s.c.sumHex() }
+
+func (s *BinaryStream) failf(format string, args ...any) (*Batch, error) {
+	s.err = fmt.Errorf("trace binary: "+format, args...)
+	return nil, s.err
+}
+
+// readFull fills b or records a sticky truncation error naming what was
+// being read. It loops over the concrete bufio.Reader rather than
+// calling io.ReadFull: the interface parameter there would force
+// callers' stack buffers to escape, one allocation per section field.
+func (s *BinaryStream) readFull(b []byte, what string) bool {
+	n := 0
+	for n < len(b) {
+		m, err := s.br.Read(b[n:])
+		n += m
+		if err != nil {
+			if err == io.EOF {
+				s.err = fmt.Errorf("trace binary: truncated %s", what)
+			} else {
+				s.err = err
+			}
+			return false
+		}
+		if m == 0 {
+			s.err = io.ErrNoProgress
+			return false
+		}
+	}
+	return true
+}
+
+func (s *BinaryStream) readU64(what string) (uint64, bool) {
+	if !s.readFull(s.scratch[:], what) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(s.scratch[:]), true
+}
+
+// Next decodes up to one batch of requests (or one kernel header).
+func (s *BinaryStream) Next() (*Batch, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if !s.started {
+		s.started = true
+		var hdr [16]byte
+		if !s.readFull(hdr[:], "header") {
+			return nil, s.err
+		}
+		if string(hdr[:4]) != binaryMagic {
+			return s.failf("bad magic %q (want %q)", hdr[:4], binaryMagic)
+		}
+		if hdr[4] != binaryVersion {
+			return s.failf("unsupported version %d (want %d)", hdr[4], binaryVersion)
+		}
+		for _, b := range hdr[5:] {
+			if b != 0 {
+				return s.failf("nonzero header padding")
+			}
+		}
+		// The hasher folded the (fixed) header at construction.
+	}
+	if s.remaining > 0 {
+		return s.emitChunk()
+	}
+	tag, ok := s.readU64("section tag")
+	if !ok {
+		return nil, s.err
+	}
+	switch tag {
+	case secKernel:
+		warpsU, ok := s.readU64("kernel section")
+		if !ok {
+			return nil, s.err
+		}
+		gapU, ok := s.readU64("kernel section")
+		if !ok {
+			return nil, s.err
+		}
+		nameLen, ok := s.readU64("kernel section")
+		if !ok {
+			return nil, s.err
+		}
+		warps, gap := int64(warpsU), int64(gapU)
+		if warps <= 0 || int64(int(warps)) != warps {
+			return s.failf("kernel %d: bad warp count %d", s.kernels, warps)
+		}
+		if gap < 0 || int64(int(gap)) != gap {
+			return s.failf("kernel %d: bad gap %d", s.kernels, gap)
+		}
+		if nameLen > maxKernelName {
+			return s.failf("kernel %d: name length %d exceeds %d", s.kernels, nameLen, maxKernelName)
+		}
+		name := make([]byte, int(nameLen)+namePad(int(nameLen)))
+		if !s.readFull(name, "kernel name") {
+			return nil, s.err
+		}
+		for _, b := range name[nameLen:] {
+			if b != 0 {
+				return s.failf("kernel %d: nonzero name padding", s.kernels)
+			}
+		}
+		hdr := KernelInfo{Name: string(name[:nameLen]), WarpsPerTB: int(warps), ComputeGapCycles: int(gap)}
+		s.c.kernel(&hdr)
+		s.kernelIndex++
+		s.kernels++
+		s.haveTB = false
+		s.hdr = hdr
+		s.batch = Batch{Kernel: &s.hdr, KernelIndex: s.kernelIndex, TBID: -1}
+		return &s.batch, nil
+	case secTB:
+		if s.kernelIndex < 0 {
+			return s.failf("tb section before any kernel section")
+		}
+		idU, ok := s.readU64("tb section")
+		if !ok {
+			return nil, s.err
+		}
+		count, ok := s.readU64("tb section")
+		if !ok {
+			return nil, s.err
+		}
+		id := int64(idU)
+		if int64(int(id)) != id {
+			return s.failf("tb id %d out of range", id)
+		}
+		if s.haveTB && int(id) <= s.curTB {
+			return s.failf("TB ids must ascend within a kernel (tb %d after %d)", id, s.curTB)
+		}
+		s.curTB = int(id)
+		s.haveTB = true
+		s.c.tbStart(s.curTB)
+		s.remaining = count
+		s.tbFirst = true
+		if count == 0 {
+			// Empty TBs are representable (AppSource emits them too);
+			// the TB exists, it just has no requests.
+			s.tbFirst = false
+			s.batch = Batch{KernelIndex: s.kernelIndex, TBID: s.curTB, TBStart: true}
+			return &s.batch, nil
+		}
+		return s.emitChunk()
+	case secEnd:
+		if s.kernels == 0 {
+			return s.failf("no kernels")
+		}
+		want := s.c.sum() // fold order: compute before reading the stored sum
+		var stored [sha256.Size]byte
+		if !s.readFull(stored[:], "checksum") {
+			return nil, s.err
+		}
+		if want != stored {
+			return s.failf("checksum mismatch: content corrupted")
+		}
+		if _, err := s.br.ReadByte(); err == nil {
+			return s.failf("data after end section")
+		} else if err != io.EOF {
+			s.err = err
+			return nil, err
+		}
+		s.err = io.EOF
+		return nil, io.EOF
+	default:
+		return s.failf("unknown section tag %d", tag)
+	}
+}
+
+// emitChunk reads and validates up to one batch of the current tb
+// section's records, serving them zero-copy out of the read buffer when
+// the platform allows (see alias.go) and via a reusable decode buffer
+// otherwise. Steady-state decoding allocates nothing either way.
+func (s *BinaryStream) emitChunk() (*Batch, error) {
+	n := s.remaining
+	if n > maxBatchRequests {
+		n = maxBatchRequests
+	}
+	if s.raw == nil {
+		s.raw = make([]byte, maxBatchRequests*recordBytes)
+	}
+	raw := s.raw[:int(n)*recordBytes]
+	if !s.readFull(raw, "tb requests") {
+		return nil, s.err
+	}
+	s.c.raw(raw)
+	if err := validateRecords(raw); err != nil {
+		return s.failf("tb %d: %v", s.curTB, err)
+	}
+	reqs, ok := aliasRequests(raw)
+	if !ok {
+		reqs = copyRecords(raw, &s.reqs)
+	}
+	s.remaining -= n
+	s.batch = Batch{KernelIndex: s.kernelIndex, TBID: s.curTB, TBStart: s.tbFirst, Requests: reqs}
+	s.tbFirst = false
+	return &s.batch, nil
+}
+
+// ReadBinary parses a trace written by WriteBinary. Like ReadCSV it is
+// a draining adapter over the streaming decoder (BinaryStream), so the
+// materialized and streaming binary paths accept and reject inputs
+// identically by construction.
+func ReadBinary(r io.Reader) (*App, error) {
+	bs := NewBinaryStream(r)
+	return CollectStream(bs, bs.Info())
+}
+
+// ReadBinaryHashed is ReadBinary plus the canonical content digest —
+// which, for a valid VTRC file, equals its end-section checksum.
+func ReadBinaryHashed(r io.Reader) (*App, string, error) {
+	bs := NewBinaryStream(r)
+	app, err := CollectStream(bs, bs.Info())
+	if err != nil {
+		return nil, "", err
+	}
+	return app, bs.SHA256(), nil
+}

@@ -2,12 +2,14 @@ package trace
 
 // Streaming CSV trace decoder. CSVStream parses the package CSV format
 // (see io.go) one line at a time and yields request batches without ever
-// holding more than one batch in memory, feeding every consumed byte
-// through an incremental SHA-256 so network services get a
-// content-addressed cache key for free at end of stream. ReadCSV and
-// ReadCSVHashed are thin adapters that drain a CSVStream into an *App,
-// so the materialized and streaming decoders accept and reject inputs
-// identically by construction.
+// holding more than one batch in memory, folding the canonical
+// record-stream SHA-256 (doc.go) as it goes so network services get a
+// content-addressed cache key for free at end of stream — one that a
+// binary (VTRC) encoding of the same trace hashes equal to, comments
+// and whitespace notwithstanding. ReadCSV and ReadCSVHashed are thin
+// adapters that drain a CSVStream into an *App, so the materialized and
+// streaming decoders accept and reject inputs identically by
+// construction.
 
 import (
 	"bufio"
@@ -15,7 +17,6 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
-	"hash"
 	"io"
 	"math"
 )
@@ -25,7 +26,7 @@ import (
 // decoder itself; a CSVStream cannot be rewound).
 type CSVStream struct {
 	sc   *bufio.Scanner
-	h    hash.Hash
+	c    *canonFold
 	line int
 	err  error // sticky terminal state: io.EOF or a decode error
 
@@ -47,15 +48,14 @@ type CSVStream struct {
 // NewCSVStream starts decoding the CSV trace on r. Decoding is lazy:
 // bytes are consumed as batches are pulled.
 func NewCSVStream(r io.Reader) *CSVStream {
-	h := sha256.New()
-	cs := newCSVStream(io.TeeReader(r, h))
-	cs.h = h
+	cs := newCSVStream(r)
+	cs.c = newCanonFold()
 	return cs
 }
 
-// NewCSVStreamUnhashed decodes without the SHA-256 tee, for callers
-// that already know the content's identity (SHA256 returns the empty
-// hash's digest in that case).
+// NewCSVStreamUnhashed decodes without the canonical hash fold, for
+// callers that already know the content's identity (SHA256 returns the
+// empty hash's digest in that case).
 func NewCSVStreamUnhashed(r io.Reader) *CSVStream { return newCSVStream(r) }
 
 func newCSVStream(r io.Reader) *CSVStream {
@@ -73,15 +73,17 @@ func (s *CSVStream) Info() SourceInfo {
 // Stream returns the decoder itself; a CSVStream is single-shot.
 func (s *CSVStream) Stream() Stream { return s }
 
-// SHA256 returns the hex digest of every byte consumed from the reader.
-// It is the content-addressed identity of the trace once Next has
-// returned io.EOF; calling it earlier hashes only the prefix read so
-// far, and on an unhashed stream it is the digest of no bytes.
+// SHA256 returns the canonical record-stream digest (doc.go) — the
+// format-independent identity every container decoder reports for the
+// same records. It is the content-addressed identity of the trace once
+// Next has returned io.EOF; calling it earlier hashes only the prefix
+// decoded so far, and on an unhashed stream it is the digest of no
+// bytes.
 func (s *CSVStream) SHA256() string {
-	if s.h == nil {
+	if s.c == nil {
 		return hex.EncodeToString(sha256.New().Sum(nil))
 	}
-	return hex.EncodeToString(s.h.Sum(nil))
+	return s.c.sumHex()
 }
 
 func (s *CSVStream) failf(format string, args ...any) (*Batch, error) {
@@ -89,14 +91,25 @@ func (s *CSVStream) failf(format string, args ...any) (*Batch, error) {
 	return nil, s.err
 }
 
-// flush emits the buffered requests as one batch.
+// flush emits the buffered requests as one batch, folding them into the
+// canonical hash (every emitted batch passes through exactly one of
+// flush/emitHeader, so the fold sees each record once, in order).
 func (s *CSVStream) flush(tbStart bool) *Batch {
+	if s.c != nil {
+		if tbStart {
+			s.c.tbStart(s.curTB)
+		}
+		s.c.requests(s.reqs)
+	}
 	s.batch = Batch{KernelIndex: s.kernelIndex, TBID: s.curTB, TBStart: tbStart, Requests: s.reqs}
 	return &s.batch
 }
 
 // emitHeader opens a new kernel and returns its header batch.
 func (s *CSVStream) emitHeader(hdr KernelInfo) *Batch {
+	if s.c != nil {
+		s.c.kernel(&hdr)
+	}
 	s.kernelIndex++
 	s.kernels++
 	s.haveTB = false
@@ -177,7 +190,10 @@ func (s *CSVStream) Next() (*Batch, error) {
 				return s.failf("trace csv line %d: bad tb id %q", s.line, fields[1])
 			}
 			warp, ok := atoiBytes(fields[2])
-			if !ok || warp < 0 {
+			if !ok || warp < 0 || warp > math.MaxInt32 {
+				// Warp is an int32 in Request; accepting a wider value here
+				// would wrap it negative — unrepresentable in either
+				// container and a silent corruption of the trace.
 				return s.failf("trace csv line %d: bad warp %q", s.line, fields[2])
 			}
 			var kind Kind

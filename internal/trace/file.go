@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"io"
+	"os"
+)
+
+// OpenFile opens an on-disk trace in either container format, sniffing
+// the VTRC magic. Binary files come back as a restartable zero-copy
+// MmapSource; CSV files come back as a single-shot streaming CSVStream.
+// The returned release func frees the mapping or file handle and must
+// be called once the trace (and any batches obtained from it) is no
+// longer in use.
+func OpenFile(path string) (Source, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var magic [4]byte
+	n, err := io.ReadFull(f, magic[:])
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		f.Close()
+		return nil, nil, err
+	}
+	if n == len(magic) && string(magic[:]) == binaryMagic {
+		f.Close()
+		src, err := OpenMmap(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return src, src.Close, nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return NewCSVStream(f), f.Close, nil
+}

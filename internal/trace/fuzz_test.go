@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bytes"
 	"io"
 	"reflect"
 	"strings"
@@ -83,4 +84,137 @@ func FuzzCSVStreamParity(f *testing.F) {
 			t.Fatalf("hashed and unhashed decodes differ on %q", in)
 		}
 	})
+}
+
+// FuzzTraceFormatParity is the three-way container parity fuzz: the
+// same bytes are fed to every decode path of both trace formats, and
+// all views of a trace must agree.
+//
+// Binary side (data as a VTRC image): the streaming decoder
+// (BinaryStream), the materialized adapter (ReadBinary) and the mmap
+// index walker (parseBinary/MmapSource) must agree on accept/reject;
+// on accept they must yield identical records, the canonical hash must
+// equal the end-section checksum, a materialized re-encode must be
+// bit-identical, and CanonicalHash over the decoded App must agree —
+// so a trace's identity survives any decode → materialize → re-encode
+// cycle. Damaged input fails cleanly (prefixed error, sticky, no
+// panic).
+//
+// CSV side (data as CSV text): any CSV-accepted trace must encode to
+// binary, decode back to the same App, and hash identically through
+// both containers — the invariant valleyd's cache relies on when a CSV
+// upload and its tracepack conversion share a cache entry.
+//
+// Seeded from the malformed/accept CSV corpora, a valid binary
+// encoding, its truncations, and the corrupt binary corpus
+// (binary_test.go).
+func FuzzTraceFormatParity(f *testing.F) {
+	for _, tc := range malformedCSVCases {
+		f.Add([]byte(tc.in))
+	}
+	for _, in := range acceptCSVCases {
+		f.Add([]byte(in))
+	}
+	base := encodeBinary(f, sampleApp())
+	f.Add(base)
+	for _, n := range []int{0, 4, 15, 16, 17, 24, 40, len(base) - 1} {
+		if n >= 0 && n <= len(base) {
+			f.Add(base[:n])
+		}
+	}
+	for _, data := range corruptBinaryCases(f) {
+		f.Add(data)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		binaryParity(t, data)
+		csvToBinaryParity(t, data)
+	})
+}
+
+// binaryParity holds the three binary decode paths to identical
+// behavior on one input.
+func binaryParity(t *testing.T, data []byte) {
+	bs := NewBinaryStream(bytes.NewReader(data))
+	matApp, streamErr := CollectStream(bs, bs.Info())
+	_, _, mmapErr := parseBinary(data)
+
+	if (streamErr == nil) != (mmapErr == nil) {
+		t.Fatalf("binary decoders disagree on accept/reject:\n  streaming: %v\n  mmap:      %v", streamErr, mmapErr)
+	}
+	if streamErr != nil {
+		if !strings.HasPrefix(streamErr.Error(), "trace binary: ") {
+			t.Fatalf("unprefixed streaming error: %v", streamErr)
+		}
+		if !strings.HasPrefix(mmapErr.Error(), "trace binary: ") {
+			t.Fatalf("unprefixed mmap error: %v", mmapErr)
+		}
+		// Errors are sticky: the stream must not resume mid-trace.
+		if _, err := bs.Next(); err == nil || err == io.EOF || err.Error() != streamErr.Error() {
+			t.Fatalf("stream error not sticky: %v then %v", streamErr, err)
+		}
+		return
+	}
+
+	sum := bs.SHA256()
+	src, err := newMmapSource(data, nil)
+	if err != nil {
+		t.Fatalf("newMmapSource rejected input parseBinary accepted: %v", err)
+	}
+	if src.SHA256() != sum {
+		t.Fatalf("mmap hash %s != stream hash %s", src.SHA256(), sum)
+	}
+	mmApp, err := CollectStream(src.Stream(), src.Info())
+	if err != nil {
+		t.Fatalf("mmap stream errored on accepted input: %v", err)
+	}
+	if !reflect.DeepEqual(matApp, mmApp) {
+		t.Fatal("streaming and mmap decodes differ")
+	}
+
+	// Third way: the materialized App hashes and re-encodes identically.
+	appSum, err := CanonicalHash(AppSource(matApp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if appSum != sum {
+		t.Fatalf("materialized hash %s != decode hash %s", appSum, sum)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, matApp); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatal("re-encode of accepted input is not bit-identical")
+	}
+}
+
+// csvToBinaryParity checks that any CSV-accepted trace crosses the
+// container boundary losslessly: same App, same canonical hash.
+func csvToBinaryParity(t *testing.T, data []byte) {
+	in := string(data)
+	matApp, _, err := ReadCSVHashed(strings.NewReader(in))
+	if err != nil {
+		return // CSV rejection parity is FuzzCSVStreamParity's job
+	}
+	cs := NewCSVStream(strings.NewReader(in))
+	if _, err := CollectStream(cs, cs.Info()); err != nil {
+		t.Fatalf("streaming CSV decoder rejected accepted input %q: %v", in, err)
+	}
+	csvSum := cs.SHA256()
+
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, matApp); err != nil {
+		t.Fatal(err)
+	}
+	binApp, binSum, err := ReadBinaryHashed(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("binary decoder rejected the encoding of CSV-accepted %q: %v", in, err)
+	}
+	if binSum != csvSum {
+		t.Fatalf("binary hash %s != csv hash %s for %q", binSum, csvSum, in)
+	}
+	if !reflect.DeepEqual(matApp, binApp) {
+		t.Fatalf("trace changed crossing containers on %q", in)
+	}
 }

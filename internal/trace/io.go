@@ -38,10 +38,11 @@ func WriteCSV(w io.Writer, a *App) error {
 }
 
 // ReadCSVHashed is ReadCSV plus a content hash: it streams the input
-// once, decoding the trace while feeding the raw bytes through SHA-256,
-// and returns the hex digest alongside the app. Network services use the
-// digest as a content-addressed cache key for uploaded traces without
-// buffering the body a second time.
+// once, decoding the trace while folding the canonical record-stream
+// SHA-256 (doc.go), and returns the hex digest alongside the app.
+// Network services use the digest as a content-addressed cache key for
+// uploaded traces without buffering the body a second time; a binary
+// (VTRC) encoding of the same records yields the same digest.
 func ReadCSVHashed(r io.Reader) (*App, string, error) {
 	cs := NewCSVStream(r)
 	app, err := CollectStream(cs, cs.Info())

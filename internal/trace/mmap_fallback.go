@@ -1,0 +1,9 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package trace
+
+// mapFile on platforms without syscall.Mmap reads the file into memory;
+// MmapSource semantics are unchanged, only residency differs.
+func mapFile(path string) ([]byte, func() error, error) {
+	return readFileFallback(path)
+}

@@ -1,0 +1,39 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package trace
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only and returns the mapping plus its release
+// func. The file descriptor is closed immediately — the mapping
+// outlives it. Filesystems that refuse mmap fall back to reading the
+// file into memory.
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		// mmap rejects zero-length maps; an empty file is simply an
+		// invalid trace, let the parser say so.
+		return []byte{}, func() error { return nil }, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("trace binary: %s: size %d exceeds the address space", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return readFileFallback(path)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

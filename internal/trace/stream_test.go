@@ -184,6 +184,7 @@ var malformedCSVCases = []struct {
 	{"non-numeric tb id", "K,k,1,1\nR,abc,0,R,10\n"},
 	{"overflowing tb id", "K,k,1,1\nR,18446744073709551616,0,R,10\n"},
 	{"overflowing warp", "K,k,1,1\nR,0,99999999999999999999,R,10\n"},
+	{"int32-wrapping warp", "K,k,1,1\nR,0,3000000000,R,10\n"}, // would wrap negative in Request.Warp
 	{"non-numeric warp", "K,k,1,1\nR,0,w,R,10\n"},
 	{"negative warp", "K,k,1,1\nR,0,-1,R,10\n"},
 	{"bad kind token", "K,k,1,1\nR,0,0,X,10\n"},

@@ -1,9 +1,5 @@
-// Package trace defines the memory-request trace representation shared by
-// the entropy analyzer and the GPU simulator: requests grouped by Thread
-// Block (TB), TBs grouped by kernel, kernels grouped by application. The
-// grouping mirrors the GPU execution model of Section II — TBs are the
-// scheduling unit, kernels serialize, and request order inside a TB is
-// deliberately not relied upon by the analysis (Section III-A).
+// Core trace representation: Request, TB, Kernel, App. The package
+// documentation lives in doc.go.
 package trace
 
 import "fmt"

@@ -130,9 +130,15 @@ type (
 	TraceSource     = trace.Source
 	TraceSourceInfo = trace.SourceInfo
 	TraceKernelInfo = trace.KernelInfo
-	// CSVTraceStream is a single-shot streaming CSV decoder with an
-	// incremental SHA-256 of the bytes consumed.
+	// CSVTraceStream is a single-shot streaming CSV decoder folding the
+	// canonical record-stream SHA-256 as it decodes.
 	CSVTraceStream = trace.CSVStream
+	// BinaryTraceStream is the single-shot streaming decoder of the VTRC
+	// binary container (same canonical hash, ~no parse cost).
+	BinaryTraceStream = trace.BinaryStream
+	// MmapTraceSource serves a VTRC file as zero-copy batches over a
+	// read-only memory mapping; restartable and fully validated at open.
+	MmapTraceSource = trace.MmapSource
 )
 
 // NewAppSource adapts a materialized trace into a restartable streaming
@@ -152,6 +158,27 @@ func CoalesceTraceStream(st TraceStream, lineBytes int) TraceStream {
 // streaming ReadTraceCSV. The returned stream is single-shot and
 // exposes the content hash once fully drained.
 func StreamTraceCSV(r io.Reader) *CSVTraceStream { return trace.NewCSVStream(r) }
+
+// StreamTraceBinary starts a streaming decode of a VTRC binary trace.
+// Like StreamTraceCSV the stream is single-shot and exposes the
+// canonical content hash — identical to the CSV encoding's — once
+// drained and checksum-verified.
+func StreamTraceBinary(r io.Reader) *BinaryTraceStream { return trace.NewBinaryStream(r) }
+
+// OpenTraceMmap maps an on-disk VTRC binary trace and serves it as a
+// restartable zero-copy source (validated end to end at open; a
+// read-everything fallback keeps non-mmap platforms working).
+func OpenTraceMmap(path string) (*MmapTraceSource, error) { return trace.OpenMmap(path) }
+
+// OpenTraceFile opens an on-disk trace in either container format,
+// sniffing the VTRC magic: binary files are mmapped, CSV files stream.
+// Call the returned release func when done with the trace.
+func OpenTraceFile(path string) (TraceSource, func() error, error) { return trace.OpenFile(path) }
+
+// TraceCanonicalHash drains one pass of a source and returns the
+// canonical record-stream digest — the format-independent identity the
+// service's content-addressed caches key on.
+func TraceCanonicalHash(src TraceSource) (string, error) { return trace.CanonicalHash(src) }
 
 // WorkloadSpec describes one benchmark of the study.
 type WorkloadSpec = workload.Spec
@@ -386,6 +413,23 @@ func WriteTraceCSV(w io.Writer, app *App) error { return trace.WriteCSV(w, app) 
 // ReadTraceCSV parses a trace in the package's CSV format — the path for
 // analyzing *real* GPU traces dumped by an instrumented simulator.
 func ReadTraceCSV(r io.Reader) (*App, error) { return trace.ReadCSV(r) }
+
+// WriteTraceBinary streams an application trace in the VTRC binary
+// container (fixed-width records, checksummed; see internal/trace's
+// doc.go for the layout and stability contract). Binary traces decode
+// roughly an order of magnitude cheaper than CSV and can be profiled
+// zero-copy via OpenTraceMmap.
+func WriteTraceBinary(w io.Writer, app *App) error { return trace.WriteBinary(w, app) }
+
+// WriteTraceBinaryStream converts a trace stream to the VTRC binary
+// container without materializing it (memory stays O(largest TB)) —
+// the CSV→binary half of cmd/tracepack.
+func WriteTraceBinaryStream(w io.Writer, st TraceStream) error {
+	return trace.WriteBinaryStream(w, st)
+}
+
+// ReadTraceBinary parses a VTRC binary trace into a materialized App.
+func ReadTraceBinary(r io.Reader) (*App, error) { return trace.ReadBinary(r) }
 
 // ---------------------------------------------------------------------
 // Service (cmd/valleyd and embedders)
