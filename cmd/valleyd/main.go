@@ -7,7 +7,7 @@
 //
 //	valleyd [-addr :8080] [-workers N] [-queue 256] [-cache 512] [-sim-cache 256]
 //	        [-max-trace-bytes N] [-trace-dir DIR] [-snapshot PATH] [-snapshot-interval 5m]
-//	        [-log-level info] [-log-format text] [-debug-addr :6060]
+//	        [-default-deadline 0] [-log-level info] [-log-format text] [-debug-addr :6060]
 //
 // Endpoints:
 //
@@ -16,6 +16,7 @@
 //	POST /v1/simulate         {"set":"valley","scale":"tiny"}   returns 202 + job id
 //	POST /v1/simulate?stream=1                                  streams NDJSON cell events live
 //	GET  /v1/jobs/{id}                                          poll the sweep
+//	DELETE /v1/jobs/{id}                                        cancel a running sweep
 //	GET  /v1/jobs/{id}/events                                   stream job events (?from=seq resumes)
 //	GET  /v1/jobs/{id}/trace                                    span tree of the sweep (accept → enqueue → cells)
 //	GET  /healthz
@@ -35,6 +36,13 @@
 // the snapshot file on startup and rewrites it every -snapshot-interval
 // and on shutdown, so a restarted daemon answers repeat sweeps from
 // cache (cells report "cached": true) instead of re-simulating.
+//
+// Deadlines: sweep requests may carry ?deadline_ms= or an X-Deadline-Ms
+// header; -default-deadline bounds sweeps that carry neither (0 keeps
+// them unbounded). Sweeps that overrun are canceled mid-cell and report
+// a deadline_exceeded terminal event; sweeps that the admission gate
+// predicts cannot finish in time are shed up front with 429 +
+// Retry-After.
 //
 // Observability: every request gets a trace_id (client-supplied
 // X-Trace-Id or generated) carried by its logs, its job's span tree and
@@ -58,6 +66,7 @@ import (
 	"time"
 
 	"valleymap"
+	"valleymap/internal/fault"
 )
 
 func main() {
@@ -70,6 +79,7 @@ func main() {
 	traceDir := flag.String("trace-dir", "", "directory of local trace files; enables {\"trace_file\":\"name\"} profile requests that mmap VTRC binaries zero-copy instead of uploading the body (empty = disabled)")
 	snapshot := flag.String("snapshot", "", "simulation-cache snapshot file (empty = no persistence); loaded on startup, written periodically and on shutdown")
 	snapshotInterval := flag.Duration("snapshot-interval", 0, "time between periodic snapshot writes (0 = 5m; negative = only on shutdown)")
+	defaultDeadline := flag.Duration("default-deadline", 0, "deadline applied to sweep requests that carry no ?deadline_ms or X-Deadline-Ms budget (0 = unbounded)")
 	logLevel := flag.String("log-level", "info", "log threshold: debug, info, warn or error")
 	logFormat := flag.String("log-format", "text", "log encoding: text or json")
 	debugAddr := flag.String("debug-addr", "", "optional second listen address serving net/http/pprof under /debug/pprof/ (empty = disabled)")
@@ -86,6 +96,13 @@ func main() {
 	}
 	slog.SetDefault(logger)
 
+	// Chaos (-tags faultinject) builds announce themselves: injection
+	// hooks are live machinery that must never reach production, and
+	// the logged marker doubles as the string CI greps binaries for.
+	if fault.Enabled {
+		slog.Warn("fault-injection build: chaos hooks are compiled in", "marker", fault.Marker)
+	}
+
 	svc := valleymap.NewService(valleymap.ServiceConfig{
 		Workers:                  *workers,
 		QueueDepth:               *queue,
@@ -95,6 +112,7 @@ func main() {
 		TraceDir:                 *traceDir,
 		SimCacheSnapshot:         *snapshot,
 		SimCacheSnapshotInterval: *snapshotInterval,
+		DefaultDeadline:          *defaultDeadline,
 		Logger:                   logger,
 	})
 	defer svc.Close()

@@ -1,0 +1,50 @@
+// Package fault is the valleymap fault-injection registry: named
+// injection points compiled into the seams the chaos suite exercises —
+// snapshot disk writes, mmap opens, worker execution, cell computation
+// — that do nothing at all in a normal build.
+//
+// # Contract
+//
+// Injection is gated by the "faultinject" build tag:
+//
+//   - Without the tag (every release and default test build), the hook
+//     functions (Err, Fail, Sleep, Torn) are constant no-ops returning
+//     zero values. They compile to nothing: the disabled variants are
+//     leaf functions small enough for the inliner, so a release valleyd
+//     carries no live fault-injection machinery, no registry, and none
+//     of the armed marker strings. CI verifies this by building valleyd
+//     both ways and grepping the binaries for the armed marker.
+//
+//   - With -tags faultinject, each point can be armed with a firing
+//     probability and a payload (an error, a delay, a truncation, or a
+//     go/no-go used for panics and fallbacks) via InjectError,
+//     InjectDelay and InjectFail. The registry is process-global,
+//     seeded (Seed) for reproducible chaos runs, and counts every fire
+//     (Fired) so tests can assert their faults actually triggered
+//     instead of passing vacuously.
+//
+// Hooks are safe for concurrent use. A point with no armed rule costs
+// one map lookup under a mutex in the tagged build and nothing in the
+// normal build, so the seams stay hot-path clean either way.
+//
+// # Points
+//
+// Point names are dotted strings owned by the seam that calls them; the
+// canonical set lives in points.go. A seam must call exactly one hook
+// shape per point (Err, Fail, Sleep or Torn) so chaos tests can reason
+// about what arming a point does:
+//
+//	SnapshotWrite  Err    snapshot temp-file write fails with the rule's error
+//	SnapshotTorn   Torn   snapshot payload is truncated mid-write (torn write)
+//	MmapOpen       Fail   mmap syscall is skipped; open falls back to copy reads
+//	WorkerDelay    Sleep  a sweep cell stalls (slow/wedged worker)
+//	CellPanic      Fail   a sweep cell panics mid-compute
+//
+// The chaos suite (internal/service chaos_test.go, internal/trace
+// mmap fault tests; run by CI under -race -tags faultinject) drives
+// concurrent sweeps with randomized combinations of these faults and
+// asserts the standing invariants: every accepted job reaches a
+// terminal state, no goroutine leaks, per-subscriber stream ordering
+// holds, the cache and snapshot never serve corrupt results, and a
+// restarted daemon recovers cleanly.
+package fault

@@ -1,0 +1,55 @@
+//go:build !faultinject
+
+package fault
+
+import "time"
+
+// Enabled reports whether fault injection is compiled in. In normal
+// builds it is the constant false, so every hook below — and any branch
+// guarded by it at a seam — folds away to nothing.
+const Enabled = false
+
+// Marker is the brand that identifies fault-injection builds in
+// compiled binaries (CI greps for it). Release builds carry the empty
+// string — and, because Enabled-guarded references fold away, no trace
+// of the armed marker at all.
+const Marker = ""
+
+// Err reports the injected error for point. Disabled: always nil.
+func Err(string) error { return nil }
+
+// Fail reports whether point should fail. Disabled: never.
+func Fail(string) bool { return false }
+
+// Sleep stalls if point is armed with a delay. Disabled: returns
+// immediately.
+func Sleep(string) {}
+
+// Torn returns data, possibly truncated, when point is armed.
+// Disabled: data passes through untouched.
+func Torn(_ string, data []byte) []byte { return data }
+
+// The configuration surface exists in both builds so shared test
+// helpers compile; without the tag, arming is a silent no-op and
+// Armed/Fired report the registry as permanently empty.
+
+// InjectError arms point to return err with probability prob. No-op.
+func InjectError(string, float64, error) {}
+
+// InjectDelay arms point to sleep d with probability prob. No-op.
+func InjectDelay(string, float64, time.Duration) {}
+
+// InjectFail arms point to fire with probability prob. No-op.
+func InjectFail(string, float64) {}
+
+// Seed reseeds the registry's RNG. No-op.
+func Seed(int64) {}
+
+// Reset disarms every point and zeroes fire counts. No-op.
+func Reset() {}
+
+// Armed reports whether any point has an active rule. Disabled: false.
+func Armed() bool { return false }
+
+// Fired returns how many times point has fired. Disabled: 0.
+func Fired(string) int64 { return 0 }

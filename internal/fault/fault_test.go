@@ -1,0 +1,140 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// These tests run in both build variants. Without -tags faultinject they
+// pin the no-op contract (arming does nothing, hooks return zero values);
+// with the tag they exercise the live registry.
+
+func TestDisarmedHooksAreZero(t *testing.T) {
+	Reset()
+	if err := Err(SnapshotWrite); err != nil {
+		t.Fatalf("Err on disarmed point = %v, want nil", err)
+	}
+	if Fail(CellPanic) {
+		t.Fatal("Fail on disarmed point = true, want false")
+	}
+	data := []byte("abcdef")
+	if got := Torn(SnapshotTorn, data); string(got) != "abcdef" {
+		t.Fatalf("Torn on disarmed point = %q, want passthrough", got)
+	}
+	start := time.Now()
+	Sleep(WorkerDelay)
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("Sleep on disarmed point took %v", d)
+	}
+	if Armed() {
+		t.Fatal("Armed() = true after Reset")
+	}
+	if n := Fired(SnapshotWrite); n != 0 {
+		t.Fatalf("Fired on disarmed point = %d, want 0", n)
+	}
+}
+
+func TestArming(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Seed(42)
+
+	boom := errors.New("boom")
+	InjectError(SnapshotWrite, 1.0, boom)
+	InjectFail(CellPanic, 1.0)
+	InjectFail(SnapshotTorn, 1.0)
+
+	if !Enabled {
+		// Disabled build: arming must be a silent no-op.
+		if Armed() {
+			t.Fatal("Armed() = true in disabled build")
+		}
+		if err := Err(SnapshotWrite); err != nil {
+			t.Fatalf("Err in disabled build = %v, want nil", err)
+		}
+		if Fail(CellPanic) {
+			t.Fatal("Fail in disabled build = true")
+		}
+		return
+	}
+
+	if !Armed() {
+		t.Fatal("Armed() = false after arming")
+	}
+	if err := Err(SnapshotWrite); !errors.Is(err, boom) {
+		t.Fatalf("Err = %v, want %v", err, boom)
+	}
+	if !Fail(CellPanic) {
+		t.Fatal("Fail at prob 1.0 = false")
+	}
+	data := []byte("abcdef")
+	got := Torn(SnapshotTorn, data)
+	if len(got) == 0 || len(got) >= len(data) {
+		t.Fatalf("Torn at prob 1.0 returned %d bytes of %d, want proper non-empty prefix", len(got), len(data))
+	}
+	if string(got) != string(data[:len(got)]) {
+		t.Fatalf("Torn result %q is not a prefix of %q", got, data)
+	}
+	if n := Fired(SnapshotWrite); n != 1 {
+		t.Fatalf("Fired(SnapshotWrite) = %d, want 1", n)
+	}
+	if n := Fired(CellPanic); n != 1 {
+		t.Fatalf("Fired(CellPanic) = %d, want 1", n)
+	}
+
+	// Probability 0 never fires.
+	InjectError(MmapOpen, 0, boom)
+	for i := 0; i < 100; i++ {
+		if err := Err(MmapOpen); err != nil {
+			t.Fatal("Err at prob 0 fired")
+		}
+	}
+	if n := Fired(MmapOpen); n != 0 {
+		t.Fatalf("Fired(MmapOpen) = %d, want 0", n)
+	}
+
+	// Mismatched hook shape is a no-op: CellPanic is armed as Fail,
+	// so Err must not fire it.
+	if err := Err(CellPanic); err != nil {
+		t.Fatalf("Err on Fail-armed point = %v, want nil", err)
+	}
+
+	// InjectError with nil error still yields a branded error.
+	InjectError(MmapOpen, 1.0, nil)
+	if err := Err(MmapOpen); err == nil {
+		t.Fatal("Err with nil-armed error = nil, want branded default")
+	}
+
+	Reset()
+	if Armed() {
+		t.Fatal("Armed() = true after Reset")
+	}
+	if n := Fired(SnapshotWrite); n != 0 {
+		t.Fatalf("Fired after Reset = %d, want 0", n)
+	}
+}
+
+func TestSeedReproducible(t *testing.T) {
+	if !Enabled {
+		t.Skip("registry compiled out")
+	}
+	Reset()
+	t.Cleanup(Reset)
+
+	run := func() []bool {
+		Seed(7)
+		InjectFail(CellPanic, 0.5)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Fail(CellPanic)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded sequences diverge at %d", i)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package fault
+
+// Canonical injection points. Each is called through exactly one hook
+// shape (noted per point); arming a point with a mismatched rule kind
+// is a no-op.
+const (
+	// SnapshotWrite (Err): the sim-cache snapshot temp-file write
+	// fails with the injected error before any bytes land.
+	SnapshotWrite = "snapshot.write"
+	// SnapshotTorn (Torn): the snapshot payload is truncated to a
+	// random prefix, simulating a crash mid-write.
+	SnapshotTorn = "snapshot.torn"
+	// MmapOpen (Fail): the mmap syscall path is skipped so OpenMmap
+	// exercises its read-into-memory fallback.
+	MmapOpen = "mmap.open"
+	// WorkerDelay (Sleep): a sweep cell stalls for the injected
+	// duration before computing (slow/wedged worker).
+	WorkerDelay = "worker.delay"
+	// CellPanic (Fail): a sweep cell panics mid-compute.
+	CellPanic = "cell.panic"
+)

@@ -1,0 +1,96 @@
+package gpusim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"valleymap/internal/mapping"
+	"valleymap/internal/workload"
+)
+
+// TestRunCtxCanceledBeforeStart pins that a pre-canceled context stops
+// the run at the first kernel checkpoint with the context's error.
+func TestRunCtxCanceledBeforeStart(t *testing.T) {
+	spec, ok := workload.ByAbbr("MT")
+	if !ok {
+		t.Fatal("unknown workload MT")
+	}
+	app := spec.Build(workload.Tiny)
+	cfg := Baseline()
+	m := mapping.MustNew(mapping.BASE, cfg.Layout, mapping.Options{Seed: 1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := NewRunner().RunCtx(ctx, app, m, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx on canceled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunCtxMidRunCancellation cancels from a checkpoint mid-simulation
+// (via a stage-free hook: a context that trips after N engine events is
+// approximated by canceling from another goroutine once the run starts)
+// and pins that the error surfaces and the Runner stays reusable with
+// bit-identical results afterwards.
+func TestRunCtxMidRunCancellation(t *testing.T) {
+	spec, ok := workload.ByAbbr("MT")
+	if !ok {
+		t.Fatal("unknown workload MT")
+	}
+	app := spec.Build(workload.Tiny)
+	cfg := Baseline()
+	m := mapping.MustNew(mapping.BASE, cfg.Layout, mapping.Options{Seed: 1})
+
+	run := NewRunner()
+
+	// Use the stage observer as the in-run cancellation trigger: cancel
+	// when setup completes, so the kernel drain loop's first checkpoint
+	// observes a dead context deterministically.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	run.SetStageObserver(func(stage string, _ time.Duration) {
+		if stage == StageSetup {
+			cancel()
+		}
+	})
+	res, err := run.RunCtx(ctx, app, m, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run RunCtx = %v, want context.Canceled", err)
+	}
+	if res != (Result{}) {
+		t.Fatal("canceled RunCtx returned a non-zero Result")
+	}
+
+	// The Runner must stay reusable after an abandoned run, reproducing a
+	// fresh Runner bit for bit (engine Reset drops pending events).
+	run.SetStageObserver(nil)
+	reused, err := run.RunCtx(context.Background(), app, m, cfg)
+	if err != nil {
+		t.Fatalf("reused Runner RunCtx error: %v", err)
+	}
+	fresh := NewRunner().Run(app, m, cfg)
+	if reused != fresh {
+		t.Fatalf("reused-after-cancel Runner diverged:\n reused %+v\n fresh  %+v", reused, fresh)
+	}
+}
+
+// TestRunCtxDeadlineExceeded pins that an already-expired deadline
+// surfaces as context.DeadlineExceeded.
+func TestRunCtxDeadlineExceeded(t *testing.T) {
+	spec, ok := workload.ByAbbr("GS")
+	if !ok {
+		t.Fatal("unknown workload GS")
+	}
+	app := spec.Build(workload.Tiny)
+	cfg := Baseline()
+	m := mapping.MustNew(mapping.BASE, cfg.Layout, mapping.Options{Seed: 1})
+
+	ctx, cancel := context.WithTimeout(context.Background(), -time.Second)
+	defer cancel()
+	_, err := NewRunner().RunCtx(ctx, app, m, cfg)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunCtx past deadline = %v, want context.DeadlineExceeded", err)
+	}
+}

@@ -12,6 +12,7 @@
 package gpusim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -343,12 +344,36 @@ func (r *Runner) putProgs(p []gpu.WarpProgram) {
 	r.progFree = append(r.progFree, p)
 }
 
+// checkpointEvents is the cancellation-poll interval of RunCtx: the
+// engine drains in bounded batches of this many events, checking
+// ctx.Err() between batches. At the simulator's typical multi-million
+// events/sec throughput this bounds cancellation latency to well under
+// 100 ms of wall clock while keeping the per-event hot path untouched
+// (the poll is one nil-check per batch).
+const checkpointEvents = 100_000
+
 // Run simulates one application under one mapping scheme.
 //
 // app is treated as strictly read-only: many Runners may simulate the
 // same *trace.App concurrently (the service's sweep cells share one
 // build per workload), so nothing in the simulator may mutate it.
 func (run *Runner) Run(app *trace.App, mapper mapping.Mapper, cfg Config) Result {
+	res, err := run.RunCtx(context.Background(), app, mapper, cfg)
+	if err != nil {
+		// Background contexts never cancel; unreachable.
+		panic(err)
+	}
+	return res
+}
+
+// RunCtx simulates one application under one mapping scheme, honoring
+// ctx cancellation. The engine drains in checkpointEvents-sized batches
+// with a cancellation poll between batches, so an expired or abandoned
+// run frees its goroutine within a bounded interval instead of running
+// to completion. On cancellation it returns the zero Result and
+// ctx.Err(); the Runner itself stays reusable (the next Run resets the
+// engine and drops the abandoned run's pending events).
+func (run *Runner) RunCtx(ctx context.Context, app *trace.App, mapper mapping.Mapper, cfg Config) (Result, error) {
 	var stageStart time.Time
 	if run.onStage != nil {
 		stageStart = time.Now()
@@ -388,7 +413,9 @@ func (run *Runner) Run(app *trace.App, mapper mapping.Mapper, cfg Config) Result
 	}
 	mapAddr := mapper.Map
 	for ki := range app.Kernels {
-		run.runKernel(sms, &app.Kernels[ki], cfg, mapAddr)
+		if err := run.runKernel(ctx, sms, &app.Kernels[ki], cfg, mapAddr); err != nil {
+			return Result{}, err
+		}
 	}
 	end := eng.Now()
 	par.Finish(end)
@@ -447,7 +474,7 @@ func (run *Runner) Run(app *trace.App, mapper mapping.Mapper, cfg Config) Result
 	if run.onStage != nil {
 		run.onStage(StageCollect, time.Since(stageStart))
 	}
-	return res
+	return res, nil
 }
 
 // Run simulates one application under one mapping scheme with a fresh
@@ -458,8 +485,16 @@ func Run(app *trace.App, mapper mapping.Mapper, cfg Config) Result {
 
 // runKernel dispatches the kernel's TBs over the SMs (round-robin as
 // slots free) and drains the engine — kernels serialize, so the drained
-// engine is the kernel barrier.
-func (run *Runner) runKernel(sms []*gpu.SM, k *trace.Kernel, cfg Config, mapAddr func(uint64) uint64) {
+// engine is the kernel barrier. The drain runs in bounded batches with
+// a cancellation poll between them; on cancellation the kernel's
+// remaining events are abandoned (the next Run's engine Reset discards
+// them) and ctx's error is returned.
+func (run *Runner) runKernel(ctx context.Context, sms []*gpu.SM, k *trace.Kernel, cfg Config, mapAddr func(uint64) uint64) error {
+	// Kernel boundaries are checkpoints too, so cancellation is caught
+	// even when a whole kernel drains inside one event batch.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	eng := &run.eng
 	maxTBs := cfg.SM.MaxTBs
 	if byWarps := cfg.MaxWarpsPerSM / k.WarpsPerTB; byWarps < maxTBs {
@@ -499,5 +534,10 @@ func (run *Runner) runKernel(sms []*gpu.SM, k *trace.Kernel, cfg Config, mapAddr
 			}
 		}
 	})
-	eng.Run()
+	for !eng.RunBounded(checkpointEvents) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -15,9 +15,9 @@
 // only observes whole-sweep completion, so every running job also
 // publishes events on a per-job bus:
 //
-//	start                       the job was accepted (seq 0)
-//	cell × total_cells          one per finished workload × scheme cell
-//	done | failed               terminal; done carries the aggregate
+//	start                                              the job was accepted (seq 0)
+//	cell × done_cells                                  one per finished workload × scheme cell
+//	done | failed | canceled | deadline_exceeded       terminal; done carries the aggregate
 //
 // Two endpoints expose the stream as NDJSON (one JSON event per line,
 // flushed as published): POST /v1/simulate?stream=1 submits and streams
@@ -34,6 +34,44 @@
 // wakeup drop (counted in valleyd_stream_events_dropped_total) and
 // catches up from the retained per-job log, never losing an event.
 //
+// # Deadlines and cancellation
+//
+// Sweeps are cancelable end to end. SimulateCtx derives the job's
+// budget from its context: the deadline instant (set by the HTTP layer
+// from ?deadline_ms / X-Deadline-Ms or Config.DefaultDeadline)
+// survives into a job context that deliberately does NOT inherit the
+// request's cancellation — a 202 job outlives its submitting handler.
+// Three things kill a job early: an explicit cancel (DELETE
+// /v1/jobs/{id} or Service.CancelJob), a streamed sweep's only client
+// disconnecting, and the deadline expiring. Running cells observe the
+// dead context at engine checkpoints (every 100k simulated events) and
+// at kernel boundaries, so a canceled sweep frees its worker slots
+// within a bounded interval rather than simulating to completion for
+// nobody. The terminal event distinguishes the cause — canceled vs
+// deadline_exceeded — via context.Cause, and cancellation always
+// outranks individual cell errors. Canceled computations are never
+// cached; a concurrent job that was coalesced onto a canceled cell's
+// in-flight computation retries the cell under its own (live) context.
+//
+// # Admission control and degraded mode
+//
+// Accepting a sweep that cannot finish before its deadline wastes
+// worker time twice — once computing cells that will be thrown away,
+// once delaying everyone queued behind them. The admission gate
+// (admission.go) prices each deadline-bearing sweep before acceptance:
+// an EWMA cost model tracks measured seconds per cell, keyed by
+// (config, scale) with a global fallback, and the sweep's uncached
+// cells behind the current queue backlog must fit the deadline budget
+// or the request is shed with HTTP 429 and a Retry-After hint
+// (valleyd_jobs_shed_total counts these). Capacity rejections (job cap,
+// shutdown) are 503s carrying the same Retry-After pricing. Sweeps
+// without deadlines and sweeps arriving before any cost data exist are
+// always admitted — the gate never sheds blind. Degraded mode keeps
+// cached data flowing under overload: a sweep whose cells are all
+// resident in the sim cache bypasses a saturated pool entirely and is
+// served inline on the dispatcher goroutine
+// (valleyd_sweeps_degraded_total).
+//
 // # Durable simulation cache
 //
 // Sweep cells are pure functions of (workload, scale, scheme, config,
@@ -47,6 +85,20 @@
 // and loaded on New — a restarted valleyd answers repeat sweeps from
 // cache (cells report "cached": true). Snapshots that fail validation
 // (truncated, corrupt, wrong version) load as a clean empty cache.
+// Snapshot writes are atomic (temp file + rename) and retried with
+// capped exponential backoff on failure
+// (valleyd_snapshot_write_failures_total counts attempts); a torn
+// write that still lands is caught by the load-path checksum, so
+// corrupt bytes are never served as results.
+//
+// # Fault injection
+//
+// The failure paths above are exercised by a chaos suite driven
+// through internal/fault: build-tagged injection points at the
+// snapshot writer, the mmap opener and the sweep cells. In normal
+// builds every hook is a compiled-out no-op; see internal/fault's
+// package documentation for the seam contract and chaos_test.go for
+// the suite.
 //
 // # Observability
 //

@@ -9,16 +9,17 @@ import (
 // JobEvent is one record on a job's event stream, serialized as NDJSON
 // by the streaming endpoints. Every job's log is the sequence
 //
-//	start · cell × Total · (done | failed)
+//	start · cell × Done · (done | failed | canceled | deadline_exceeded)
 //
-// with Seq dense and ascending from 0. Ordering guarantee: cell events
-// are published before the terminal event, and every subscriber
-// observes its events in Seq order with no duplicates — a streaming
-// client therefore always sees the first finished cell strictly before
-// the job reaches done.
+// with Seq dense and ascending from 0 (Done == Total when the terminal
+// event is done; canceled, expired and failed jobs may terminate with
+// fewer cells). Ordering guarantee: cell events are published before
+// the terminal event, and every subscriber observes its events in Seq
+// order with no duplicates — a streaming client therefore always sees
+// the first finished cell strictly before the job reaches done.
 type JobEvent struct {
 	Seq   int    `json:"seq"`
-	Type  string `json:"type"` // start | cell | done | failed
+	Type  string `json:"type"` // start | cell | done | failed | canceled | deadline_exceeded
 	JobID string `json:"job_id"`
 	// TraceID is the job's trace identifier, stamped on every event by
 	// the bus so a streamed NDJSON record correlates with the span tree
@@ -32,7 +33,8 @@ type JobEvent struct {
 	Cell *CellResult `json:"cell,omitempty"`
 	// Result is the aggregated sweep (done events only).
 	Result *SimulateResult `json:"result,omitempty"`
-	// Error is the failure reason (failed events only).
+	// Error is the failure reason (failed, canceled and
+	// deadline_exceeded events).
 	Error string `json:"error,omitempty"`
 }
 
@@ -42,7 +44,23 @@ const (
 	EventCell   = "cell"
 	EventDone   = "done"
 	EventFailed = "failed"
+	// EventCanceled and EventDeadlineExceeded are the cancellation
+	// terminals: the job was abandoned by an explicit cancel (or client
+	// disconnect) or ran out of its deadline budget. Like done/failed
+	// they close the stream; Done reports how many cells landed before
+	// the cancellation took effect.
+	EventCanceled         = "canceled"
+	EventDeadlineExceeded = "deadline_exceeded"
 )
+
+// terminalEvent reports whether t closes a job's event stream.
+func terminalEvent(t string) bool {
+	switch t {
+	case EventDone, EventFailed, EventCanceled, EventDeadlineExceeded:
+		return true
+	}
+	return false
+}
 
 // subBuffer bounds each subscriber's live-tail channel. A consumer that
 // falls further behind than this has its channel sends dropped (counted
@@ -87,8 +105,9 @@ func newJobBus() *jobBus {
 }
 
 // publish appends ev to the log (assigning its Seq) and wakes
-// subscribers. Publishing a terminal event (done/failed) closes the
-// bus: subscribers drain the log and then see end-of-stream.
+// subscribers. Publishing a terminal event (done, failed, canceled or
+// deadline_exceeded) closes the bus: subscribers drain the log and then
+// see end-of-stream.
 func (b *jobBus) publish(ev JobEvent) {
 	b.mu.Lock()
 	if b.closed {
@@ -98,7 +117,7 @@ func (b *jobBus) publish(ev JobEvent) {
 	ev.Seq = len(b.log)
 	ev.TraceID = b.traceID
 	b.log = append(b.log, ev)
-	if ev.Type == EventDone || ev.Type == EventFailed {
+	if terminalEvent(ev.Type) {
 		b.closed = true
 	}
 	for s := range b.subs {

@@ -58,7 +58,7 @@ func checkTranscript(t *testing.T, evs []JobEvent, from, totalCells int) {
 			if i == len(evs)-1 {
 				t.Error("stream ended on a cell event; terminal event missing")
 			}
-		case EventDone, EventFailed:
+		case EventDone, EventFailed, EventCanceled, EventDeadlineExceeded:
 			if i != len(evs)-1 {
 				t.Fatalf("terminal event at index %d of %d — cells after done", i, len(evs))
 			}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -15,15 +16,17 @@ import (
 
 // Handler returns the valleyd HTTP API:
 //
-//	POST /v1/profile          entropy profile (JSON request, or text/csv trace body)
-//	POST /v1/advise           mapping recommendation with predicted entropy gains
-//	POST /v1/simulate         enqueue a workload x scheme sweep job (202);
-//	                          ?stream=1 streams NDJSON events instead (200)
-//	GET  /v1/jobs/{id}        poll a sweep job
-//	GET  /v1/jobs/{id}/events stream the job's events as NDJSON (?from=seq resumes)
-//	GET  /v1/jobs/{id}/trace  the job's span tree (accept → enqueue → cells → engine)
-//	GET  /healthz             liveness
-//	GET  /metrics             Prometheus-style plain text
+//	POST   /v1/profile          entropy profile (JSON request, or text/csv trace body)
+//	POST   /v1/advise           mapping recommendation with predicted entropy gains
+//	POST   /v1/simulate         enqueue a workload x scheme sweep job (202);
+//	                            ?stream=1 streams NDJSON events instead (200);
+//	                            ?deadline_ms= / X-Deadline-Ms bound the job's runtime
+//	GET    /v1/jobs/{id}        poll a sweep job
+//	DELETE /v1/jobs/{id}        cancel an in-flight sweep job
+//	GET    /v1/jobs/{id}/events stream the job's events as NDJSON (?from=seq resumes)
+//	GET    /v1/jobs/{id}/trace  the job's span tree (accept → enqueue → cells → engine)
+//	GET    /healthz             liveness
+//	GET    /metrics             Prometheus-style plain text
 func (s *Service) Handler() http.Handler {
 	routes := []struct {
 		method, pattern, label string
@@ -33,23 +36,44 @@ func (s *Service) Handler() http.Handler {
 		{"POST", "/v1/advise", "/v1/advise", s.handleAdvise},
 		{"POST", "/v1/simulate", "/v1/simulate", s.handleSimulate},
 		{"GET", "/v1/jobs/{id}", "/v1/jobs", s.handleJob},
+		{"DELETE", "/v1/jobs/{id}", "/v1/jobs", s.handleJobCancel},
 		{"GET", "/v1/jobs/{id}/events", "/v1/jobs/events", s.handleJobEvents},
 		{"GET", "/v1/jobs/{id}/trace", "/v1/jobs/trace", s.handleJobTrace},
 		{"GET", "/healthz", "/healthz", s.handleHealthz},
 		{"GET", "/metrics", "/metrics", s.handleMetrics},
 	}
 	mux := http.NewServeMux()
+	// Patterns may carry several methods (GET + DELETE on /v1/jobs/{id}),
+	// so the method-less twins are registered once per pattern with the
+	// full Allow set — registering one per route would panic on the
+	// duplicate pattern.
+	type patternInfo struct {
+		label   string
+		methods []string
+	}
+	patterns := map[string]*patternInfo{}
+	order := []string{}
 	for _, rt := range routes {
 		mux.HandleFunc(rt.method+" "+rt.pattern, s.instrument(rt.label, rt.h))
+		pi, ok := patterns[rt.pattern]
+		if !ok {
+			pi = &patternInfo{label: rt.label}
+			patterns[rt.pattern] = pi
+			order = append(order, rt.pattern)
+		}
+		pi.methods = append(pi.methods, rt.method)
+	}
+	for _, pattern := range order {
 		// The method-less twin catches wrong-method requests on a known
-		// path (the method-qualified pattern is more specific, so real
+		// path (the method-qualified patterns are more specific, so real
 		// traffic never lands here) and keeps them instrumented under
 		// the same path label instead of falling to the catch-all.
-		method := rt.method
-		mux.HandleFunc(rt.pattern, s.instrument(rt.label, func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Allow", method)
+		pi := patterns[pattern]
+		allow := strings.Join(pi.methods, ", ")
+		mux.HandleFunc(pattern, s.instrument(pi.label, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Allow", allow)
 			writeJSON(w, http.StatusMethodNotAllowed,
-				apiError{Error: fmt.Sprintf("method %s not allowed (want %s)", r.Method, method)})
+				apiError{Error: fmt.Sprintf("method %s not allowed (want %s)", r.Method, allow)})
 		}))
 	}
 	// Catch-all: unmatched paths would otherwise bypass the
@@ -142,10 +166,20 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusBadRequest
 	case errors.As(err, &nf):
 		code = http.StatusNotFound
+	case errors.As(err, new(tooBusyError)):
+		code = http.StatusTooManyRequests
 	case errors.As(err, &ov):
 		code = http.StatusServiceUnavailable
 	case errors.As(err, new(overloadedBody)):
 		code = http.StatusRequestEntityTooLarge
+	}
+	// Capacity errors that can price the backlog tell clients when to
+	// come back instead of inviting an immediate retry storm.
+	var rh retryHinter
+	if errors.As(err, &rh) {
+		if sec := rh.retryAfterSeconds(); sec > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(sec))
+		}
 	}
 	writeJSON(w, code, apiError{Error: err.Error()})
 }
@@ -354,7 +388,22 @@ func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	job, err := s.SimulateCtx(r.Context(), req)
+	ctx := r.Context()
+	budget, err := deadlineBudget(r, s.cfg.DefaultDeadline)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if budget > 0 {
+		// The deadline rides the request context into SimulateCtx, which
+		// lifts the instant onto the job's own context — the job outlives
+		// this handler; only the deadline carries over, so canceling here
+		// merely releases the timer.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
+	job, err := s.SimulateCtx(ctx, req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -369,12 +418,59 @@ func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		if sub, ok := s.jobs.subscribe(job.ID, 0); ok {
 			defer sub.Close()
 			streamEvents(w, r, sub)
+			// A streamed sweep's client is its only consumer: if the
+			// stream ended before the terminal event (disconnect, write
+			// failure), the sweep is abandoned — cancel it so its cells
+			// free their worker slots instead of burning to completion.
+			// For terminal jobs the cancel function is already gone, so
+			// this is a no-op on clean completion.
+			s.CancelJob(job.ID, "client disconnected from streamed sweep")
 			return
 		}
 		// The job aged out before we could attach (only possible under
 		// extreme churn); the 202 handle still lets the client poll.
 	}
 	writeJSON(w, http.StatusAccepted, job)
+}
+
+// deadlineBudget resolves a simulate request's execution budget:
+// ?deadline_ms wins, then the X-Deadline-Ms header, then the daemon
+// default (0 = unbounded).
+func deadlineBudget(r *http.Request, def time.Duration) (time.Duration, error) {
+	v := r.URL.Query().Get("deadline_ms")
+	src := "deadline_ms"
+	if v == "" {
+		v = r.Header.Get("X-Deadline-Ms")
+		src = "X-Deadline-Ms"
+	}
+	if v == "" {
+		return def, nil
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms <= 0 {
+		return 0, badRequestf("bad %s %q (want a positive integer millisecond budget)", src, v)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
+}
+
+// handleJobCancel cancels an in-flight job (DELETE /v1/jobs/{id}). The
+// response is the job's snapshot at cancel time; the terminal canceled
+// event lands once running cells observe the dead context, so a
+// just-canceled job may still report status running. Canceling a job
+// that already reached a terminal state is a no-op 200.
+func (s *Service) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.Job(id); !ok {
+		writeError(w, notFoundf("unknown job %q", id))
+		return
+	}
+	s.CancelJob(id, "canceled via DELETE /v1/jobs/"+id)
+	job, ok := s.Job(id)
+	if !ok {
+		writeError(w, notFoundf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
 }
 
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"valleymap/internal/testutil"
 	"valleymap/internal/trace"
 	"valleymap/internal/workload"
 )
@@ -24,7 +25,7 @@ func waitJob(t *testing.T, s *Service, id string) Job {
 		if !ok {
 			t.Fatalf("job %q vanished", id)
 		}
-		if j.Status == JobDone || j.Status == JobFailed {
+		if terminalStatus(j.Status) {
 			return j
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -35,6 +36,9 @@ func waitJob(t *testing.T, s *Service, id string) Job {
 
 func newTestServer(t *testing.T) (*Service, *httptest.Server) {
 	t.Helper()
+	// Leak check first: t.Cleanup runs LIFO, so the goroutine baseline
+	// is re-checked after the server and service below are closed.
+	testutil.CheckGoroutineLeaks(t)
 	svc := New(Config{Workers: 4})
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {

@@ -1,6 +1,8 @@
 package service
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"runtime/debug"
@@ -14,13 +16,22 @@ import (
 // JobStatus is the lifecycle state of an async job.
 type JobStatus string
 
-// Job lifecycle: queued → running → done | failed.
+// Job lifecycle: queued → running → done | failed | canceled.
 const (
 	JobQueued  JobStatus = "queued"
 	JobRunning JobStatus = "running"
 	JobDone    JobStatus = "done"
 	JobFailed  JobStatus = "failed"
+	// JobCanceled covers both explicit cancellation (DELETE, client
+	// disconnect on a streamed sweep) and an expired deadline; Error and
+	// the terminal event type (canceled vs deadline_exceeded) say which.
+	JobCanceled JobStatus = "canceled"
 )
+
+// terminalStatus reports whether st is a final job state.
+func terminalStatus(st JobStatus) bool {
+	return st == JobDone || st == JobFailed || st == JobCanceled
+}
 
 // Job is one asynchronous simulation sweep. Cells (workload × scheme
 // pairs) execute across the shared worker pool; Done tracks progress.
@@ -38,6 +49,10 @@ type Job struct {
 	Done     int             `json:"done_cells"`
 	Error    string          `json:"error,omitempty"`
 	Result   *SimulateResult `json:"result,omitempty"`
+	// Deadline is the instant the job's execution budget expires
+	// (?deadline_ms / X-Deadline-Ms / the daemon default); absent for
+	// jobs with no deadline.
+	Deadline *time.Time `json:"deadline,omitempty"`
 }
 
 // jobStore holds jobs by ID, retaining at most maxJobs entries:
@@ -53,10 +68,14 @@ type Job struct {
 // — and its retained event log — lives exactly as long as the job
 // entry, so eviction frees both.
 type jobStore struct {
-	mu      sync.RWMutex
-	jobs    map[string]*Job
-	buses   map[string]*jobBus
-	traces  map[string]*obs.Trace
+	mu     sync.RWMutex
+	jobs   map[string]*Job
+	buses  map[string]*jobBus
+	traces map[string]*obs.Trace
+	// cancels holds each in-flight job's cancel function (cause-aware);
+	// removed when the job reaches a terminal state, so canceling a
+	// finished job is a cheap no-op.
+	cancels map[string]context.CancelCauseFunc
 	order   []string // creation order, for eviction
 	maxJobs int
 	nextID  atomic.Int64
@@ -73,6 +92,7 @@ func newJobStore(maxJobs int) *jobStore {
 		jobs:    map[string]*Job{},
 		buses:   map[string]*jobBus{},
 		traces:  map[string]*obs.Trace{},
+		cancels: map[string]context.CancelCauseFunc{},
 		maxJobs: maxJobs,
 	}
 }
@@ -87,10 +107,11 @@ func (s *jobStore) create(kind string, total int, tr *obs.Trace) (*Job, error) {
 	for len(s.jobs) >= s.maxJobs {
 		evicted := false
 		for i, id := range s.order {
-			if old := s.jobs[id]; old != nil && (old.Status == JobDone || old.Status == JobFailed) {
+			if old := s.jobs[id]; old != nil && terminalStatus(old.Status) {
 				delete(s.jobs, id)
 				delete(s.buses, id)
 				delete(s.traces, id)
+				delete(s.cancels, id)
 				s.order = append(s.order[:i], s.order[i+1:]...)
 				evicted = true
 				break
@@ -119,6 +140,32 @@ func (s *jobStore) create(kind string, total int, tr *obs.Trace) (*Job, error) {
 	s.buses[j.ID] = bus
 	bus.publish(JobEvent{Type: EventStart, JobID: j.ID, Total: total})
 	return j, nil
+}
+
+// arm registers an in-flight job's cancel function and (optional)
+// deadline after creation. The cancel function is dropped when the job
+// reaches a terminal state.
+func (s *jobStore) arm(id string, cancel context.CancelCauseFunc, deadline *time.Time) {
+	s.mu.Lock()
+	if j := s.jobs[id]; j != nil {
+		s.cancels[id] = cancel
+		j.Deadline = deadline
+	}
+	s.mu.Unlock()
+}
+
+// cancel fires the job's cancel function with the given cause. It
+// reports whether the job exists; canceling a job that is already
+// terminal (or was never armed) is a true no-op.
+func (s *jobStore) cancel(id string, cause error) bool {
+	s.mu.RLock()
+	_, known := s.jobs[id]
+	fn := s.cancels[id]
+	s.mu.RUnlock()
+	if fn != nil {
+		fn(cause)
+	}
+	return known
 }
 
 // trace returns the job's span recorder. The bool reports whether the
@@ -197,18 +244,33 @@ func (s *jobStore) finish(id string, res *SimulateResult, err error) {
 	if j := s.jobs[id]; j != nil {
 		now := time.Now().UTC()
 		j.Finished = &now
-		if err != nil {
+		evType := EventDone
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			// Deadline expiry and explicit cancellation share the
+			// canceled job status; the error text and the terminal event
+			// type distinguish them.
+			j.Status = JobCanceled
+			j.Error = err.Error()
+			evType = EventDeadlineExceeded
+		case errors.Is(err, context.Canceled):
+			j.Status = JobCanceled
+			j.Error = err.Error()
+			evType = EventCanceled
+		case err != nil:
 			j.Status = JobFailed
 			j.Error = err.Error()
-		} else {
+			evType = EventFailed
+		default:
 			j.Status = JobDone
 			j.Result = res
 		}
+		delete(s.cancels, id)
 		// Terminal event: published after every cell event (the
 		// dispatcher waits for all cells first), closing the stream.
 		if bus := s.buses[id]; bus != nil {
 			if err != nil {
-				bus.publish(JobEvent{Type: EventFailed, JobID: id, Done: j.Done, Total: j.Total, Error: err.Error()})
+				bus.publish(JobEvent{Type: evType, JobID: id, Done: j.Done, Total: j.Total, Error: err.Error()})
 			} else {
 				bus.publish(JobEvent{Type: EventDone, JobID: id, Done: j.Done, Total: j.Total, Result: res})
 			}
@@ -280,6 +342,13 @@ func (p *pool) run(f func()) {
 	}()
 	f()
 }
+
+// backlog reports tasks queued but not yet picked up; capacity the
+// queue bound; busyWorkers the workers currently executing a task. All
+// are point-in-time samples for the admission gate and metrics.
+func (p *pool) backlog() int     { return len(p.tasks) }
+func (p *pool) capacity() int    { return cap(p.tasks) }
+func (p *pool) busyWorkers() int { return int(p.busy.Load()) }
 
 // submit enqueues a task, blocking while the queue is full. It reports
 // false when the pool is shutting down. A sender blocked on a full

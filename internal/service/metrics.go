@@ -31,6 +31,13 @@ type Metrics struct {
 	jobsEnqueued atomic.Int64
 	jobsDone     atomic.Int64
 	jobsFailed   atomic.Int64
+	// jobsCanceled counts jobs terminated by explicit cancellation,
+	// client disconnect or an expired deadline; jobsShed counts sweeps
+	// rejected up front by the cost-aware admission gate; degradedSweeps
+	// counts fully-cached sweeps served inline past a saturated pool.
+	jobsCanceled   atomic.Int64
+	jobsShed       atomic.Int64
+	degradedSweeps atomic.Int64
 
 	cellsSimulated atomic.Int64
 	// sweepMicros accumulates total sweep wall time in microseconds
@@ -48,10 +55,12 @@ type Metrics struct {
 	workerPanics atomic.Int64
 
 	// Snapshot persistence: completed snapshot writes, entries loaded
-	// at startup, entries in the most recent write.
-	snapshotSaves   atomic.Int64
-	snapshotLoaded  atomic.Int64
-	snapshotEntries atomic.Int64
+	// at startup, entries in the most recent write, and write attempts
+	// that failed (each retry that fails counts once).
+	snapshotSaves         atomic.Int64
+	snapshotLoaded        atomic.Int64
+	snapshotEntries       atomic.Int64
+	snapshotWriteFailures atomic.Int64
 
 	// Gauges are sampled at render time from the owning structures.
 	queueDepth  func() int
@@ -193,6 +202,19 @@ func (m *Metrics) SnapshotCounts() (saves, loaded int64) {
 	return m.snapshotSaves.Load(), m.snapshotLoaded.Load()
 }
 
+// SnapshotWriteFailures returns failed snapshot write attempts.
+func (m *Metrics) SnapshotWriteFailures() int64 { return m.snapshotWriteFailures.Load() }
+
+// JobsCanceled returns jobs terminated by cancellation or deadline.
+func (m *Metrics) JobsCanceled() int64 { return m.jobsCanceled.Load() }
+
+// JobsShed returns sweeps rejected by the admission gate.
+func (m *Metrics) JobsShed() int64 { return m.jobsShed.Load() }
+
+// DegradedSweeps returns fully-cached sweeps served inline past a
+// saturated pool.
+func (m *Metrics) DegradedSweeps() int64 { return m.degradedSweeps.Load() }
+
 // AddSweepSeconds accumulates one sweep's wall time.
 func (m *Metrics) AddSweepSeconds(d time.Duration) {
 	m.sweepMicros.Add(d.Microseconds())
@@ -266,6 +288,15 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	add("# HELP valleyd_jobs_failed_total Simulation jobs that ended in error.\n")
 	add("# TYPE valleyd_jobs_failed_total counter\n")
 	add("valleyd_jobs_failed_total %d\n", m.jobsFailed.Load())
+	add("# HELP valleyd_jobs_canceled_total Simulation jobs terminated by cancellation, client disconnect or deadline expiry.\n")
+	add("# TYPE valleyd_jobs_canceled_total counter\n")
+	add("valleyd_jobs_canceled_total %d\n", m.jobsCanceled.Load())
+	add("# HELP valleyd_jobs_shed_total Sweeps rejected up front by cost-aware admission control.\n")
+	add("# TYPE valleyd_jobs_shed_total counter\n")
+	add("valleyd_jobs_shed_total %d\n", m.jobsShed.Load())
+	add("# HELP valleyd_sweeps_degraded_total Fully-cached sweeps served inline because the worker pool was saturated.\n")
+	add("# TYPE valleyd_sweeps_degraded_total counter\n")
+	add("valleyd_sweeps_degraded_total %d\n", m.degradedSweeps.Load())
 	add("# HELP valleyd_sim_cells_total Individual workload x scheme simulations executed (cache hits excluded).\n")
 	add("# TYPE valleyd_sim_cells_total counter\n")
 	add("valleyd_sim_cells_total %d\n", m.cellsSimulated.Load())
@@ -298,6 +329,9 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	add("# HELP valleyd_sim_cache_snapshot_loaded_entries Entries rehydrated from the snapshot at startup.\n")
 	add("# TYPE valleyd_sim_cache_snapshot_loaded_entries gauge\n")
 	add("valleyd_sim_cache_snapshot_loaded_entries %d\n", m.snapshotLoaded.Load())
+	add("# HELP valleyd_snapshot_write_failures_total Simulation-cache snapshot write attempts that failed (retried with capped backoff).\n")
+	add("# TYPE valleyd_snapshot_write_failures_total counter\n")
+	add("valleyd_snapshot_write_failures_total %d\n", m.snapshotWriteFailures.Load())
 
 	if m.queueDepth != nil {
 		add("# HELP valleyd_queue_depth Tasks waiting in the worker-pool queue.\n")

@@ -21,6 +21,7 @@ import (
 	"valleymap/internal/cache"
 	"valleymap/internal/entropy"
 	"valleymap/internal/experiments"
+	"valleymap/internal/fault"
 	"valleymap/internal/gpusim"
 	"valleymap/internal/layout"
 	"valleymap/internal/mapping"
@@ -86,6 +87,11 @@ type Config struct {
 	// (0 = 5 min; < 0 disables periodic writes, keeping only the
 	// on-Close write). Ignored without SimCacheSnapshot.
 	SimCacheSnapshotInterval time.Duration
+	// DefaultDeadline, when positive, bounds every sweep that does not
+	// carry its own ?deadline_ms / X-Deadline-Ms budget: the job is
+	// canceled with a deadline_exceeded terminal event when it overruns.
+	// Zero means jobs without an explicit budget run unbounded.
+	DefaultDeadline time.Duration
 	// Logger receives the service's structured logs (nil =
 	// slog.Default()). Request-scoped children carry trace_id, path and
 	// tenant; sweep logs carry job_id and trace_id.
@@ -130,6 +136,9 @@ type Service struct {
 	simCache *simCache
 	jobs     *jobStore
 	pool     *pool
+	// costs prices sweep cells for admission control and Retry-After
+	// hints (EWMA of measured cell seconds; see admission.go).
+	costs *costModel
 	// profileSem bounds concurrent profile computations (trace builds +
 	// entropy analysis run on handler goroutines, not the sweep pool);
 	// without it, N distinct-key requests materialize N traces at once.
@@ -171,6 +180,7 @@ func New(cfg Config) *Service {
 		simCache:   newSimCache(cfg.SimCacheEntries, m),
 		jobs:       newJobStore(cfg.MaxJobs),
 		pool:       newPool(cfg.Workers, cfg.QueueDepth, m, cfg.Logger),
+		costs:      newCostModel(),
 		profileSem: make(chan struct{}, cfg.Workers),
 		streamSem:  make(chan struct{}, 4*cfg.Workers),
 		start:      time.Now(),
@@ -202,7 +212,10 @@ func (s *Service) Close() {
 		s.pool.close()
 		s.sweepWG.Wait()
 		if s.cfg.SimCacheSnapshot != "" {
-			s.saveSimCacheSnapshot()
+			// nil stop: snapStop is already closed, and the shutdown
+			// save is the last chance to persist — let it use its full
+			// (bounded) retry budget.
+			s.saveSimCacheSnapshot(nil)
 		}
 	})
 }
@@ -220,10 +233,18 @@ type notFoundError struct{ msg string }
 
 func (e notFoundError) Error() string { return e.msg }
 
-// overloadedError marks capacity exhaustion (HTTP 503).
-type overloadedError struct{ msg string }
+// overloadedError marks capacity exhaustion (HTTP 503). retryAfter,
+// when positive, becomes the response's Retry-After header — derived
+// from the current queue depth × mean cell seconds, so clients back
+// off proportionally to the actual backlog.
+type overloadedError struct {
+	msg        string
+	retryAfter int
+}
 
 func (e overloadedError) Error() string { return e.msg }
+
+func (e overloadedError) retryAfterSeconds() int { return e.retryAfter }
 
 func badRequestf(format string, args ...any) error {
 	return badRequestError{fmt.Sprintf(format, args...)}
@@ -1007,6 +1028,29 @@ func (s *Service) SimulateCtx(ctx context.Context, req SimulateRequest) (Job, er
 		seed = 1
 	}
 
+	// Admission gate: price the sweep (uncached cells behind the current
+	// backlog, via the EWMA cost model) against its deadline before
+	// accepting it; fully-cached sweeps bypass a saturated pool inline.
+	// The deadline instant comes from the request context — the HTTP
+	// layer sets it from ?deadline_ms / X-Deadline-Ms or the daemon
+	// default — and survives into the job context below even though the
+	// request context itself dies with the handler.
+	var deadline *time.Time
+	if dl, ok := ctx.Deadline(); ok {
+		t := dl.UTC()
+		deadline = &t
+	}
+	keys := make([]string, 0, len(specs)*len(schemes))
+	for _, sp := range specs {
+		for _, sc := range schemes {
+			keys = append(keys, simCellKey(sp.Abbr, scaleName, sc, cfgName, seed))
+		}
+	}
+	degraded, err := s.admitSweep(deadline, len(keys), s.countCachedCells(keys), cfgName, scaleName)
+	if err != nil {
+		return Job{}, err
+	}
+
 	// Register the dispatcher before creating the job, under closeMu:
 	// once Close has flipped closed, no new sweep can slip past its
 	// sweepWG.Wait, so the shutdown snapshot always sees every accepted
@@ -1014,7 +1058,7 @@ func (s *Service) SimulateCtx(ctx context.Context, req SimulateRequest) (Job, er
 	s.closeMu.Lock()
 	if s.closed {
 		s.closeMu.Unlock()
-		return Job{}, overloadedError{"service shutting down"}
+		return Job{}, overloadedError{msg: "service shutting down"}
 	}
 	s.sweepWG.Add(1)
 	s.closeMu.Unlock()
@@ -1036,11 +1080,25 @@ func (s *Service) SimulateCtx(ctx context.Context, req SimulateRequest) (Job, er
 	job, err := s.jobs.create("simulate", total, tr)
 	if err != nil {
 		s.sweepWG.Done()
-		return Job{}, overloadedError{err.Error()}
+		return Job{}, overloadedError{msg: err.Error(), retryAfter: s.retryAfterHint()}
 	}
 	enq.Annotate(obs.Attr{Key: "job_id", Value: job.ID})
 	enq.End()
 	s.metrics.jobsEnqueued.Add(1)
+
+	// The job context outlives the request: values (trace ID, logger)
+	// carry over, the request's cancellation does not — a 202 job must
+	// survive its handler returning — and the deadline instant is
+	// re-applied. The cancel function is armed in the store so DELETE,
+	// stream disconnects and Close-side cleanup can fire it with a cause.
+	jobCtx, cancelJob := context.WithCancelCause(context.WithoutCancel(ctx))
+	release := func() { cancelJob(nil) }
+	if deadline != nil {
+		var cancelT context.CancelFunc
+		jobCtx, cancelT = context.WithDeadline(jobCtx, *deadline)
+		release = func() { cancelT(); cancelJob(nil) }
+	}
+	s.jobs.arm(job.ID, cancelJob, deadline)
 
 	result := &SimulateResult{
 		Config: cfgName,
@@ -1063,11 +1121,23 @@ func (s *Service) SimulateCtx(ctx context.Context, req SimulateRequest) (Job, er
 	// the sweep finishes and is evicted under churn before we re-read,
 	// this creation-time copy is still a valid handle for the client.
 	created := *job
-	go s.runSweep(job.ID, specs, schemes, cfg, scale, seed, result, tr, root)
+	go s.runSweep(jobCtx, release, job.ID, specs, schemes, cfg, scale, seed, result, tr, root, degraded)
 	if snap, ok := s.jobs.get(job.ID); ok {
 		return snap, nil
 	}
 	return created, nil
+}
+
+// CancelJob cancels an in-flight job with the given reason; the job
+// terminates with a canceled event once its running cells observe the
+// dead context (bounded by the engine's checkpoint interval). It
+// reports whether the job is known; canceling an already-terminal job
+// is a no-op that still reports true.
+func (s *Service) CancelJob(id, reason string) bool {
+	if reason == "" {
+		reason = "canceled by request"
+	}
+	return s.jobs.cancel(id, fmt.Errorf("%w: %s", context.Canceled, reason))
 }
 
 // runnerPool shares gpusim.Runners (engine slab, request pools, program
@@ -1095,11 +1165,23 @@ func (sa *sharedApp) get(sp workload.Spec, scale workload.Scale) *trace.App {
 	return sa.app
 }
 
-func (s *Service) runSweep(jobID string, specs []workload.Spec, schemes []mapping.Scheme, cfg gpusim.Config, scale workload.Scale, seed int64, result *SimulateResult, tr *obs.Trace, root obs.SpanRef) {
+// runSweep is the dispatcher goroutine that owns one job's lifecycle:
+// it fans cells onto the pool (or runs them inline in degraded mode),
+// waits, aggregates and publishes the terminal event. ctx is the job
+// context — cancellation or deadline expiry stops fan-out, skips queued
+// cells, interrupts running engines at their checkpoint interval and
+// terminates the job with a canceled/deadline_exceeded event. release
+// frees the job context's resources when the sweep ends.
+func (s *Service) runSweep(ctx context.Context, release func(), jobID string, specs []workload.Spec, schemes []mapping.Scheme, cfg gpusim.Config, scale workload.Scale, seed int64, result *SimulateResult, tr *obs.Trace, root obs.SpanRef, degraded bool) {
 	defer s.sweepWG.Done()
+	defer release()
 	defer root.End()
 	start := time.Now()
 	s.jobs.setRunning(jobID)
+	if degraded {
+		s.metrics.degradedSweeps.Add(1)
+		root.Annotate(obs.Attr{Key: "degraded", Value: "true"})
+	}
 	var (
 		wg       sync.WaitGroup
 		errMu    sync.Mutex
@@ -1119,10 +1201,20 @@ submit:
 		sp := specs[wi]
 		for si, sc := range schemes {
 			si, sc := si, sc
+			if ctx.Err() != nil {
+				// Canceled mid-fan-out: stop submitting. Cells already
+				// queued or running drain through their own ctx checks.
+				break submit
+			}
 			submitAt := time.Now()
 			wg.Add(1)
 			task := func() {
 				defer wg.Done()
+				if ctx.Err() != nil {
+					// Canceled while queued: free the worker slot without
+					// paying for the cell.
+					return
+				}
 				cellStart := time.Now()
 				s.metrics.queueWait.ObserveDuration(cellStart.Sub(submitAt))
 				cellSpan := tr.StartAt(root.ID(), "cell", submitAt,
@@ -1150,46 +1242,83 @@ submit:
 				// putSpan covers the cache insert after the compute closure
 				// returns; it stays the inert zero SpanRef on cache hits.
 				var putSpan obs.SpanRef
-				cell, hit, err := s.simCache.GetOrCompute(
-					simCellKey(sp.Abbr, result.Scale, sc, result.Config, seed),
-					func() (*simCell, error) {
-						simStart := time.Now()
-						build := tr.Start(cellSpan.ID(), "trace_build")
-						app := sa.get(sp, scale)
-						build.End()
-						m := mapping.MustNew(sc, cfg.Layout, mapping.Options{Seed: seed})
-						r := runnerPool.Get().(*gpusim.Runner)
-						eng := tr.Start(cellSpan.ID(), "engine_run")
-						var setup, kernels, collect time.Duration
-						r.SetStageObserver(func(stage string, d time.Duration) {
-							switch stage {
-							case gpusim.StageSetup:
-								setup = d
-							case gpusim.StageKernels:
-								kernels = d
-							case gpusim.StageCollect:
-								collect = d
-							}
-						})
-						res := r.Run(app, m, cfg)
-						r.SetStageObserver(nil)
-						eng.Annotate(
-							obs.Attr{Key: "setup_us", Value: strconv.FormatInt(setup.Microseconds(), 10)},
-							obs.Attr{Key: "kernels_us", Value: strconv.FormatInt(kernels.Microseconds(), 10)},
-							obs.Attr{Key: "collect_us", Value: strconv.FormatInt(collect.Microseconds(), 10)},
-						)
-						eng.End()
-						runnerPool.Put(r)
-						// The shared build must come back untouched, or it
-						// would poison this workload's remaining cells and
-						// every later sweep holding the same pointer.
-						if got := sa.app.Requests(); got != sa.reqs {
-							return nil, fmt.Errorf("simulating %s under %s mutated the shared trace: %d requests became %d", sp.Abbr, sc, sa.reqs, got)
+				compute := func() (*simCell, error) {
+					// Chaos seams: a wedged worker stalls here; an induced
+					// cell panic exercises the PanicError recovery path.
+					fault.Sleep(fault.WorkerDelay)
+					if fault.Fail(fault.CellPanic) {
+						panic("injected cell panic")
+					}
+					simStart := time.Now()
+					build := tr.Start(cellSpan.ID(), "trace_build")
+					app := sa.get(sp, scale)
+					build.End()
+					m := mapping.MustNew(sc, cfg.Layout, mapping.Options{Seed: seed})
+					r := runnerPool.Get().(*gpusim.Runner)
+					eng := tr.Start(cellSpan.ID(), "engine_run")
+					var setup, kernels, collect time.Duration
+					r.SetStageObserver(func(stage string, d time.Duration) {
+						switch stage {
+						case gpusim.StageSetup:
+							setup = d
+						case gpusim.StageKernels:
+							kernels = d
+						case gpusim.StageCollect:
+							collect = d
 						}
-						putSpan = tr.Start(cellSpan.ID(), "cache_put")
-						return &simCell{Res: experiments.FlattenResult(res), Seconds: time.Since(simStart).Seconds()}, nil
 					})
+					// The engine polls ctx between bounded event batches,
+					// so an abandoned or expired sweep frees this worker
+					// slot mid-cell within the checkpoint interval.
+					res, runErr := r.RunCtx(ctx, app, m, cfg)
+					r.SetStageObserver(nil)
+					eng.Annotate(
+						obs.Attr{Key: "setup_us", Value: strconv.FormatInt(setup.Microseconds(), 10)},
+						obs.Attr{Key: "kernels_us", Value: strconv.FormatInt(kernels.Microseconds(), 10)},
+						obs.Attr{Key: "collect_us", Value: strconv.FormatInt(collect.Microseconds(), 10)},
+					)
+					eng.End()
+					runnerPool.Put(r)
+					if runErr != nil {
+						return nil, runErr
+					}
+					// The shared build must come back untouched, or it
+					// would poison this workload's remaining cells and
+					// every later sweep holding the same pointer.
+					if got := sa.app.Requests(); got != sa.reqs {
+						return nil, fmt.Errorf("simulating %s under %s mutated the shared trace: %d requests became %d", sp.Abbr, sc, sa.reqs, got)
+					}
+					putSpan = tr.Start(cellSpan.ID(), "cache_put")
+					return &simCell{Res: experiments.FlattenResult(res), Seconds: time.Since(simStart).Seconds()}, nil
+				}
+				key := simCellKey(sp.Abbr, result.Scale, sc, result.Config, seed)
+				var (
+					cell *simCell
+					hit  bool
+					err  error
+				)
+				for attempt := 0; ; attempt++ {
+					cell, hit, err = s.simCache.GetOrCompute(key, compute)
+					// In-flight coalescing wrinkle: joining another sweep's
+					// computation means inheriting its context error if that
+					// sweep is canceled. While our own job is still alive,
+					// retry — canceled computations are never cached, so the
+					// retry computes fresh under our live context.
+					if err == nil || ctx.Err() != nil || attempt >= 2 ||
+						!(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+						break
+					}
+				}
 				putSpan.End()
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					// Our own cancellation (or an unlucky triple join on
+					// other dying sweeps): record it quietly; the dispatcher
+					// publishes the terminal event.
+					fail(err)
+					cellSpan.Annotate(obs.Attr{Key: "canceled", Value: "true"})
+					cellSpan.End()
+					return
+				}
 				if err != nil {
 					// A panic inside the compute closure surfaces as a
 					// cache.PanicError (the cache recovers it to keep the
@@ -1226,10 +1355,22 @@ submit:
 				result.Cells[wi*len(schemes)+si] = done
 				if !hit {
 					s.metrics.cellsSimulated.Add(1)
+					// Feed the admission cost model with the measured
+					// simulation seconds (cache hits measure the cache,
+					// not the simulator, and are skipped).
+					s.costs.observe(result.Config, result.Scale, cell.Seconds)
 				}
 				// Publishes the cell on the job's event stream the moment
 				// it lands; streaming clients see it before job completion.
 				s.jobs.cellDone(jobID, done)
+			}
+			if degraded {
+				// Degraded mode: the sweep is fully cached and the pool is
+				// saturated, so cells run inline on this dispatcher
+				// goroutine — cached results stay servable under overload
+				// without queueing behind real simulation work.
+				task()
+				continue
 			}
 			if !s.pool.submit(task) {
 				wg.Done()
@@ -1243,6 +1384,18 @@ submit:
 	wg.Wait()
 	elapsed := time.Since(start)
 	s.metrics.AddSweepSeconds(elapsed)
+	if cause := context.Cause(ctx); cause != nil {
+		// Cancellation outranks any cell error it induced: a canceled
+		// sweep's cells fail with context errors, but the job's terminal
+		// state should say "canceled", not "failed".
+		s.metrics.jobsCanceled.Add(1)
+		s.jobs.finish(jobID, nil, cause)
+		s.log.Info("sweep canceled",
+			"job_id", jobID, "trace_id", tr.ID(),
+			"done_cells", countDone(result), "duration_ms", elapsed.Milliseconds(),
+			"cause", cause)
+		return
+	}
 	if firstErr != nil {
 		s.metrics.jobsFailed.Add(1)
 		s.jobs.finish(jobID, nil, firstErr)
@@ -1258,6 +1411,18 @@ submit:
 	s.log.Debug("sweep done",
 		"job_id", jobID, "trace_id", tr.ID(),
 		"cells", len(result.Cells), "duration_ms", elapsed.Milliseconds())
+}
+
+// countDone counts the cells that actually landed in a (possibly
+// partially executed) sweep: filled slots carry their workload abbr.
+func countDone(r *SimulateResult) int {
+	n := 0
+	for i := range r.Cells {
+		if r.Cells[i].Workload != "" {
+			n++
+		}
+	}
+	return n
 }
 
 // aggregateSweep fills speedups vs BASE and per-scheme harmonic means

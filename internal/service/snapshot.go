@@ -29,6 +29,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"valleymap/internal/fault"
 )
 
 // snapshotMagic identifies a sim-cache snapshot file; the trailing
@@ -110,36 +112,80 @@ func (s *Service) encodeCurrentSnapshot() ([]byte, int, error) {
 	return data, len(entries), err
 }
 
+// Snapshot write retry policy: transient filesystem errors (a full
+// disk draining, a slow NFS mount) are retried with capped exponential
+// backoff before the save is abandoned until the next interval. Every
+// failed attempt counts in valleyd_snapshot_write_failures_total.
+const (
+	snapshotWriteAttempts = 4
+	snapshotBackoffBase   = 50 * time.Millisecond
+	snapshotBackoffCap    = 2 * time.Second
+)
+
 // saveSimCacheSnapshot writes the current sim cache to the configured
-// path atomically (temp file + rename), so readers and a crash mid-write
-// never observe a half-written snapshot.
-func (s *Service) saveSimCacheSnapshot() {
+// path atomically (temp file + rename), so readers and a crash
+// mid-write never observe a half-written snapshot. Failed writes are
+// retried with capped exponential backoff; stop (which may be nil)
+// aborts the backoff wait early so a shutting-down daemon never stalls
+// in a retry sleep.
+func (s *Service) saveSimCacheSnapshot(stop <-chan struct{}) {
 	data, count, err := s.encodeCurrentSnapshot()
 	if err != nil {
 		s.log.Warn("sim-cache snapshot encode failed", "error", err)
 		return
 	}
 	path := s.cfg.SimCacheSnapshot
+	backoff := snapshotBackoffBase
+	for attempt := 1; ; attempt++ {
+		err := s.writeSnapshotFile(path, data)
+		if err == nil {
+			s.metrics.snapshotSaves.Add(1)
+			s.metrics.snapshotEntries.Store(int64(count))
+			s.log.Debug("sim-cache snapshot saved", "path", path, "entries", count)
+			return
+		}
+		s.metrics.snapshotWriteFailures.Add(1)
+		s.log.Warn("sim-cache snapshot write failed", "path", path, "attempt", attempt, "error", err)
+		if attempt >= snapshotWriteAttempts {
+			s.log.Warn("sim-cache snapshot abandoned until next interval", "path", path, "attempts", attempt)
+			return
+		}
+		select {
+		case <-stop:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > snapshotBackoffCap {
+			backoff = snapshotBackoffCap
+		}
+	}
+}
+
+// writeSnapshotFile lands one framed snapshot atomically: temp file in
+// the destination directory, then rename. The fault seams model a
+// failing filesystem (SnapshotWrite) and a torn write that the rename
+// still publishes (SnapshotTorn) — the latter "succeeds" here and is
+// caught by the load path's checksum, never by readers.
+func (s *Service) writeSnapshotFile(path string, data []byte) error {
+	if err := fault.Err(fault.SnapshotWrite); err != nil {
+		return err
+	}
+	out := fault.Torn(fault.SnapshotTorn, data)
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
-		s.log.Warn("sim-cache snapshot write failed", "path", path, "error", err)
-		return
+		return err
 	}
-	_, werr := tmp.Write(data)
+	_, werr := tmp.Write(out)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
-		s.log.Warn("sim-cache snapshot write failed", "path", path, "error", errors.Join(werr, cerr))
-		return
+		return errors.Join(werr, cerr)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
-		s.log.Warn("sim-cache snapshot rename failed", "path", path, "error", err)
-		return
+		return err
 	}
-	s.metrics.snapshotSaves.Add(1)
-	s.metrics.snapshotEntries.Store(int64(count))
-	s.log.Debug("sim-cache snapshot saved", "path", path, "entries", count)
+	return nil
 }
 
 // loadSimCacheSnapshot rehydrates the sim cache from the configured
@@ -178,7 +224,7 @@ func (s *Service) snapshotLoop() {
 		case <-s.snapStop:
 			return
 		case <-t.C:
-			s.saveSimCacheSnapshot()
+			s.saveSimCacheSnapshot(s.snapStop)
 		}
 	}
 }

@@ -13,25 +13,9 @@ import (
 	"sync"
 	"testing"
 	"time"
-)
 
-// waitGoroutines polls until the goroutine count drops back to within
-// slack of baseline (background runtime goroutines wobble a little).
-func waitGoroutines(t *testing.T, baseline int) {
-	t.Helper()
-	const slack = 4
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= baseline+slack {
-			return
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-	buf := make([]byte, 1<<20)
-	n := runtime.Stack(buf, true)
-	t.Errorf("goroutines: %d, baseline %d — stream machinery leaked:\n%s",
-		runtime.NumGoroutine(), baseline, buf[:n])
-}
+	"valleymap/internal/testutil"
+)
 
 // TestStressStreamingClients hammers the event bus with -race on: many
 // concurrent streaming clients, half disconnecting mid-stream, over one
@@ -80,7 +64,7 @@ func TestStressStreamingClients(t *testing.T) {
 
 	ts.Close()
 	svc.Close()
-	waitGoroutines(t, baseline)
+	testutil.WaitGoroutines(t, baseline)
 }
 
 // streamClient reads one event stream, checking per-connection delivery
@@ -215,5 +199,5 @@ func TestStressRestartMidSweep(t *testing.T) {
 
 	ts.Close()
 	s2.Close()
-	waitGoroutines(t, baseline)
+	testutil.WaitGoroutines(t, baseline)
 }

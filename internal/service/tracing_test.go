@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -224,8 +225,8 @@ func TestSweepCellPanicFailsJob(t *testing.T) {
 	}
 	result := &SimulateResult{Config: "baseline", Scale: "tiny", Seed: 1, Cells: make([]CellResult, 1)}
 	svc.sweepWG.Add(1)
-	svc.runSweep(job.ID, []workload.Spec{boom}, []mapping.Scheme{mapping.BASE},
-		gpusim.Baseline(), workload.Tiny, 1, result, tr, root)
+	svc.runSweep(context.Background(), func() {}, job.ID, []workload.Spec{boom}, []mapping.Scheme{mapping.BASE},
+		gpusim.Baseline(), workload.Tiny, 1, result, tr, root, false)
 
 	j, ok := svc.Job(job.ID)
 	if !ok {

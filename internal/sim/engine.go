@@ -172,6 +172,18 @@ func (e *Engine) RunUntil(deadline Time) bool {
 	return true
 }
 
+// RunBounded executes at most maxEvents events. It returns true if the
+// queue drained, false if the budget ran out first. Callers use it as a
+// cancellation checkpoint: run a bounded batch, poll for cancellation,
+// repeat. A non-positive budget executes nothing and reports whether the
+// queue is already empty.
+func (e *Engine) RunBounded(maxEvents int) bool {
+	for ; maxEvents > 0 && len(e.heap) > 0; maxEvents-- {
+		e.step()
+	}
+	return len(e.heap) == 0
+}
+
 // Reset returns the engine to time zero with an empty queue, keeping
 // the slab, free-list and heap capacity for reuse. Any still-pending
 // events are dropped. A Reset engine behaves exactly like a zero-value

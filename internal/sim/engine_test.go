@@ -117,6 +117,76 @@ func TestEngineRunUntil(t *testing.T) {
 	}
 }
 
+func TestEngineRunBounded(t *testing.T) {
+	var e Engine
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i)*10, func() { fired++ })
+	}
+	if drained := e.RunBounded(4); drained {
+		t.Fatal("RunBounded(4) reported drained")
+	}
+	if fired != 4 {
+		t.Errorf("fired = %d, want 4", fired)
+	}
+	if e.Now() != 40 {
+		t.Errorf("now = %v, want 40", e.Now())
+	}
+	// A zero budget executes nothing and reports the non-empty queue.
+	if e.RunBounded(0) {
+		t.Fatal("RunBounded(0) reported drained with events pending")
+	}
+	if fired != 4 {
+		t.Errorf("fired after zero budget = %d, want 4", fired)
+	}
+	// An oversized budget drains and reports it.
+	if !e.RunBounded(1000) {
+		t.Fatal("RunBounded(1000) should drain")
+	}
+	if fired != 10 {
+		t.Errorf("fired = %d, want 10", fired)
+	}
+	// Drained engine: any budget reports drained immediately.
+	if !e.RunBounded(0) || !e.RunBounded(5) {
+		t.Fatal("RunBounded on drained engine should report drained")
+	}
+}
+
+// TestEngineRunBoundedMatchesRun pins that draining in bounded batches
+// is observationally identical to a single Run: same firing order, same
+// final time.
+func TestEngineRunBoundedMatchesRun(t *testing.T) {
+	build := func(e *Engine, order *[]int) {
+		for i := 0; i < 50; i++ {
+			id := i
+			e.Schedule(Time(i%7)*3, func() {
+				*order = append(*order, id)
+				if id%5 == 0 {
+					e.Schedule(2, func() { *order = append(*order, 1000+id) })
+				}
+			})
+		}
+	}
+	var a, b Engine
+	var orderA, orderB []int
+	build(&a, &orderA)
+	build(&b, &orderB)
+	a.Run()
+	for !b.RunBounded(3) {
+	}
+	if a.Now() != b.Now() {
+		t.Fatalf("final time: Run=%v RunBounded=%v", a.Now(), b.Now())
+	}
+	if len(orderA) != len(orderB) {
+		t.Fatalf("event counts: Run=%d RunBounded=%d", len(orderA), len(orderB))
+	}
+	for i := range orderA {
+		if orderA[i] != orderB[i] {
+			t.Fatalf("firing order diverges at %d: %d vs %d", i, orderA[i], orderB[i])
+		}
+	}
+}
+
 func TestEngineNegativeDelayPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,45 @@
+// Package testutil holds small helpers shared across the repo's test
+// suites. It must only be imported from _test.go files.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// goroutineSlack absorbs the wobble of background runtime goroutines
+// (GC workers, timer threads, netpoller) that come and go outside the
+// test's control.
+const goroutineSlack = 4
+
+// WaitGoroutines polls until the goroutine count drops back to within
+// slack of baseline, failing the test with a full stack dump if it
+// never does. Use it after tearing down the system under test to prove
+// that its workers, subscribers and timers all exited.
+func WaitGoroutines(t testing.TB, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+goroutineSlack {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Errorf("goroutines: %d, baseline %d — goroutines leaked:\n%s",
+		runtime.NumGoroutine(), baseline, buf[:n])
+}
+
+// CheckGoroutineLeaks snapshots the current goroutine count and
+// registers a cleanup that asserts the count returns to that baseline
+// once the test (and any cleanups registered after this call) finish.
+// Call it BEFORE constructing the system under test: t.Cleanup runs
+// LIFO, so the leak check then executes after the system's own cleanup
+// has closed it.
+func CheckGoroutineLeaks(t testing.TB) {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+	t.Cleanup(func() { WaitGoroutines(t, baseline) })
+}

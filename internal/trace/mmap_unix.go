@@ -6,12 +6,15 @@ import (
 	"fmt"
 	"os"
 	"syscall"
+
+	"valleymap/internal/fault"
 )
 
 // mapFile maps path read-only and returns the mapping plus its release
 // func. The file descriptor is closed immediately — the mapping
 // outlives it. Filesystems that refuse mmap fall back to reading the
-// file into memory.
+// file into memory; the MmapOpen fault point forces that same fallback
+// so chaos tests can exercise it on filesystems where mmap works.
 func mapFile(path string) ([]byte, func() error, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -30,6 +33,9 @@ func mapFile(path string) ([]byte, func() error, error) {
 	}
 	if size != int64(int(size)) {
 		return nil, nil, fmt.Errorf("trace binary: %s: size %d exceeds the address space", path, size)
+	}
+	if fault.Fail(fault.MmapOpen) {
+		return readFileFallback(path)
 	}
 	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
 	if err != nil {

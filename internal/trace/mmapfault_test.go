@@ -1,0 +1,47 @@
+//go:build faultinject
+
+package trace
+
+// Chaos coverage for the mmap seam: forcing the MmapOpen fault point
+// must route OpenMmap through its copy-read fallback with identical
+// results, on a filesystem where mmap itself works fine.
+
+import (
+	"testing"
+
+	"valleymap/internal/fault"
+)
+
+func TestMmapOpenFaultFallsBack(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+
+	data := encodeBinary(t, sampleApp())
+	path := writeTempTrace(t, data)
+
+	ref, err := OpenMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refHash := ref.SHA256()
+	refReqs := ref.Requests()
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fault.InjectFail(fault.MmapOpen, 1.0)
+	src, err := OpenMmap(path)
+	if err != nil {
+		t.Fatalf("OpenMmap with forced fallback: %v", err)
+	}
+	defer src.Close()
+	if got := fault.Fired(fault.MmapOpen); got == 0 {
+		t.Fatal("MmapOpen fault point never fired — the seam is dead")
+	}
+	if src.SHA256() != refHash {
+		t.Errorf("fallback hash %s != mmap hash %s", src.SHA256(), refHash)
+	}
+	if src.Requests() != refReqs {
+		t.Errorf("fallback Requests() = %d, want %d", src.Requests(), refReqs)
+	}
+}

@@ -457,10 +457,11 @@ type (
 )
 
 // Streaming sweep events: each running job publishes start / cell /
-// done|failed records on a per-job bus, exposed over HTTP as NDJSON
+// terminal records on a per-job bus, exposed over HTTP as NDJSON
 // (POST /v1/simulate?stream=1, GET /v1/jobs/{id}/events) and in-process
 // via Service.JobEvents. Events arrive in seq order with no duplicates,
-// and every cell event precedes the terminal event.
+// and every cell event precedes the single terminal event (done, failed,
+// canceled or deadline_exceeded).
 type (
 	ServiceJobEvent        = service.JobEvent
 	ServiceJobSubscription = service.JobSubscription
@@ -468,10 +469,12 @@ type (
 
 // Job event types, in stream order.
 const (
-	ServiceEventStart  = service.EventStart
-	ServiceEventCell   = service.EventCell
-	ServiceEventDone   = service.EventDone
-	ServiceEventFailed = service.EventFailed
+	ServiceEventStart            = service.EventStart
+	ServiceEventCell             = service.EventCell
+	ServiceEventDone             = service.EventDone
+	ServiceEventFailed           = service.EventFailed
+	ServiceEventCanceled         = service.EventCanceled
+	ServiceEventDeadlineExceeded = service.EventDeadlineExceeded
 )
 
 // ServiceJobTrace is the span tree of one sweep job: accept → enqueue →
