@@ -6,8 +6,9 @@
 // Usage:
 //
 //	valleyd [-addr :8080] [-workers N] [-queue 256] [-cache 512] [-sim-cache 256]
-//	        [-max-trace-bytes N] [-trace-dir DIR] [-snapshot PATH] [-snapshot-interval 5m]
-//	        [-default-deadline 0] [-log-level info] [-log-format text] [-debug-addr :6060]
+//	        [-max-trace-bytes N] [-trace-dir DIR] [-spill-dir DIR] [-spill-max-bytes N]
+//	        [-snapshot PATH] [-default-deadline 0] [-log-level info] [-log-format text]
+//	        [-debug-addr :6060]
 //
 // Endpoints:
 //
@@ -32,10 +33,14 @@
 // local files ({"trace_file":"x.vtrc"}); binary files are then profiled
 // zero-copy via mmap with no HTTP body at all.
 //
-// With -snapshot, the simulation-result cache is durable: valleyd loads
-// the snapshot file on startup and rewrites it every -snapshot-interval
-// and on shutdown, so a restarted daemon answers repeat sweeps from
-// cache (cells report "cached": true) instead of re-simulating.
+// With -spill-dir, the simulation-result cache is two-tier: cells
+// evicted from memory spill to checksummed per-entry files (written
+// asynchronously, bounded by -spill-max-bytes) and are promoted back on
+// demand, so a restarted daemon answers repeat sweeps from cache (cells
+// report "cached": true) instead of re-simulating, and warm capacity is
+// bounded by disk, not RAM. -snapshot names a legacy VSIMCSH1 file from
+// older daemons; it is loaded at startup and migrated into the spill
+// directory once.
 //
 // Deadlines: sweep requests may carry ?deadline_ms= or an X-Deadline-Ms
 // header; -default-deadline bounds sweeps that carry neither (0 keeps
@@ -77,8 +82,9 @@ func main() {
 	simCacheEntries := flag.Int("sim-cache", 0, "simulation-result cache entries (0 = 256)")
 	maxTraceBytes := flag.Int64("max-trace-bytes", 0, "uploaded trace body cap in bytes (0 = 256 MiB; uploads stream, so this bounds bandwidth, not memory)")
 	traceDir := flag.String("trace-dir", "", "directory of local trace files; enables {\"trace_file\":\"name\"} profile requests that mmap VTRC binaries zero-copy instead of uploading the body (empty = disabled)")
-	snapshot := flag.String("snapshot", "", "simulation-cache snapshot file (empty = no persistence); loaded on startup, written periodically and on shutdown")
-	snapshotInterval := flag.Duration("snapshot-interval", 0, "time between periodic snapshot writes (0 = 5m; negative = only on shutdown)")
+	spillDir := flag.String("spill-dir", "", "simulation-cache spill directory (empty = memory-only); evicted cells spill to checksummed per-entry files and are promoted back on demand, so the cache survives restarts and grows past RAM")
+	spillMaxBytes := flag.Int64("spill-max-bytes", 0, "byte budget for the spill directory, enforced by evicting the lowest cost-per-byte entries (0 = 1 GiB; negative = unbounded)")
+	snapshot := flag.String("snapshot", "", "legacy VSIMCSH1 simulation-cache snapshot file; loaded on startup and, with -spill-dir, migrated into the spill directory once (never written)")
 	defaultDeadline := flag.Duration("default-deadline", 0, "deadline applied to sweep requests that carry no ?deadline_ms or X-Deadline-Ms budget (0 = unbounded)")
 	logLevel := flag.String("log-level", "info", "log threshold: debug, info, warn or error")
 	logFormat := flag.String("log-format", "text", "log encoding: text or json")
@@ -104,16 +110,17 @@ func main() {
 	}
 
 	svc := valleymap.NewService(valleymap.ServiceConfig{
-		Workers:                  *workers,
-		QueueDepth:               *queue,
-		CacheEntries:             *cacheEntries,
-		SimCacheEntries:          *simCacheEntries,
-		MaxTraceBytes:            *maxTraceBytes,
-		TraceDir:                 *traceDir,
-		SimCacheSnapshot:         *snapshot,
-		SimCacheSnapshotInterval: *snapshotInterval,
-		DefaultDeadline:          *defaultDeadline,
-		Logger:                   logger,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheEntries:     *cacheEntries,
+		SimCacheEntries:  *simCacheEntries,
+		MaxTraceBytes:    *maxTraceBytes,
+		TraceDir:         *traceDir,
+		SpillDir:         *spillDir,
+		SpillMaxBytes:    *spillMaxBytes,
+		SimCacheSnapshot: *snapshot,
+		DefaultDeadline:  *defaultDeadline,
+		Logger:           logger,
 	})
 	defer svc.Close()
 

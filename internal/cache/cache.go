@@ -1,12 +1,9 @@
-// Package cache implements the set-associative, write-back,
-// write-allocate caches of the simulated GPU (Table I): the 16 KB 4-way
-// per-SM L1 data caches and the eight 64 KB 8-way LLC slices, plus the
-// MSHR bookkeeping used to merge and bound outstanding misses.
-//
-// It also hosts the generic service-level LRU (lru.go): a
-// content-addressed result cache with in-flight coalescing and
-// cost-weighted eviction, shared by valleyd's profile and
-// simulation-result caches.
+// Hardware cache models. This file implements the set-associative,
+// write-back, write-allocate caches of the simulated GPU (Table I):
+// the 16 KB 4-way per-SM L1 data caches and the eight 64 KB 8-way LLC
+// slices, plus the MSHR bookkeeping used to merge and bound
+// outstanding misses. The package doc (and the service-level tiered
+// result store) lives in doc.go.
 package cache
 
 import (

@@ -53,6 +53,11 @@ type LRUOptions[V any] struct {
 	// nil means every entry weighs the same, which makes eviction exact
 	// LRU (the profile cache's policy).
 	Weigh func(V) Weight
+	// OnEvict observes capacity evictions (may be nil). It runs on the
+	// inserting goroutine after the cache lock is released, so it may
+	// take locks of its own (the spill tier enqueues a write-behind
+	// here) but must not call back into this cache.
+	OnEvict func(key string, val V, w Weight)
 }
 
 // LRU is a content-addressed LRU cache with in-flight request
@@ -145,11 +150,13 @@ func (c *LRU[V]) GetOrCompute(key string, fn func() (V, error)) (val V, hit bool
 
 	c.mu.Lock()
 	delete(c.inflight, key)
+	var evicted []lruEntry[V]
 	if f.err == nil {
-		c.insertLocked(key, f.val)
+		evicted = c.insertLocked(key, f.val)
 	}
 	c.mu.Unlock()
 	close(f.done)
+	c.notifyEvicted(evicted)
 
 	// A failed computation was never cacheable; counting it as a miss
 	// would make client errors read as cache-sizing trouble in /metrics.
@@ -163,8 +170,19 @@ func (c *LRU[V]) GetOrCompute(key string, fn func() (V, error)) (val V, hit bool
 // the most recently used. Snapshot loaders use it to rehydrate a cache.
 func (c *LRU[V]) Add(key string, val V) {
 	c.mu.Lock()
-	c.insertLocked(key, val)
+	evicted := c.insertLocked(key, val)
 	c.mu.Unlock()
+	c.notifyEvicted(evicted)
+}
+
+// notifyEvicted delivers eviction callbacks outside the cache lock.
+func (c *LRU[V]) notifyEvicted(evicted []lruEntry[V]) {
+	if c.opt.OnEvict == nil {
+		return
+	}
+	for i := range evicted {
+		c.opt.OnEvict(evicted[i].key, evicted[i].val, evicted[i].w)
+	}
 }
 
 // Peek reports the resident value for key without touching recency or
@@ -199,7 +217,10 @@ func (c *LRU[V]) Entries() []Entry[V] {
 	return out
 }
 
-func (c *LRU[V]) insertLocked(key string, val V) {
+// insertLocked installs (or refreshes) an entry and returns the entries
+// evicted to make room, for the caller to report once the lock is
+// dropped.
+func (c *LRU[V]) insertLocked(key string, val V) []lruEntry[V] {
 	w := Weight{Cost: 1, Bytes: 1}
 	if c.opt.Weigh != nil {
 		w = c.opt.Weigh(val)
@@ -215,12 +236,16 @@ func (c *LRU[V]) insertLocked(key string, val V) {
 		e.val = val
 		e.w = w
 		c.ll.MoveToFront(el)
-		return
+		return nil
 	}
 	c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val, w: w})
+	var evicted []lruEntry[V]
 	for c.ll.Len() > c.opt.Capacity {
-		c.evictLocked()
+		if e, ok := c.evictLocked(); ok {
+			evicted = append(evicted, e)
+		}
 	}
+	return evicted
 }
 
 // evictLocked removes one entry: among the evictScan least-recently-used
@@ -231,10 +256,10 @@ func (c *LRU[V]) insertLocked(key string, val V) {
 // whose insert triggered the eviction, and letting a cheap newcomer
 // evict itself would keep it from ever becoming resident (every repeat
 // lookup would recompute it).
-func (c *LRU[V]) evictLocked() {
+func (c *LRU[V]) evictLocked() (lruEntry[V], bool) {
 	victim := c.ll.Back()
 	if victim == nil {
-		return
+		return lruEntry[V]{}, false
 	}
 	density := func(el *list.Element) float64 {
 		e := el.Value.(*lruEntry[V])
@@ -250,6 +275,8 @@ func (c *LRU[V]) evictLocked() {
 			victim, best = el, d
 		}
 	}
+	e := victim.Value.(*lruEntry[V])
 	c.ll.Remove(victim)
-	delete(c.items, victim.Value.(*lruEntry[V]).key)
+	delete(c.items, e.key)
+	return *e, true
 }

@@ -1,0 +1,141 @@
+package cache
+
+// Sharded front of the service cache: the single-lock LRU[V] split
+// N ways by key hash, so concurrent warm GETs contend on N small locks
+// instead of one global one. Each shard is a full LRU[V] — in-flight
+// coalescing, PanicError recovery and cost-aware eviction all hold
+// per shard — and a key's shard is a pure function of its bytes, so
+// every lookup, insert and eviction decision for a key is handled by
+// exactly one shard for the cache's whole lifetime.
+
+import "runtime"
+
+// ShardedOptions configures a Sharded cache.
+type ShardedOptions[V any] struct {
+	// Capacity bounds resident entries across all shards (values < 1
+	// become 1). It is split evenly, rounding up, so the effective
+	// total capacity is at most Shards-1 entries above the request.
+	Capacity int
+	// Shards fixes the shard count, rounded up to a power of two.
+	// Zero picks the next power of two >= 2 x GOMAXPROCS: enough
+	// shards that under full parallelism two hot keys rarely share a
+	// lock, few enough that per-shard capacity stays meaningful.
+	Shards int
+	// OnHit / OnMiss / Weigh / OnEvict are the LRUOptions fields,
+	// applied to every shard.
+	OnHit, OnMiss func()
+	Weigh         func(V) Weight
+	OnEvict       func(key string, val V, w Weight)
+}
+
+// Sharded is a hash-sharded LRU[V]. It preserves the LRU semantics —
+// content-addressed lookups, in-flight coalescing per key, cost-aware
+// eviction — while letting concurrent lookups of different keys
+// proceed in parallel. A single shard (Shards: 1) is behaviorally
+// identical to a bare LRU[V]; the parity tests pin this.
+type Sharded[V any] struct {
+	shards []*LRU[V]
+	mask   uint64
+}
+
+// defaultShards returns the next power of two >= 2 x GOMAXPROCS.
+func defaultShards() int {
+	return nextPow2(2 * runtime.GOMAXPROCS(0))
+}
+
+func nextPow2(n int) int {
+	if n < 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// shardIndex hashes key with FNV-1a 64 and folds the high bits in, so
+// the low mask bits see the whole hash. The hash is deterministic
+// across processes: a key spills to and reloads from the same shard's
+// decisions over restarts.
+func shardIndex(key string, mask uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return (h ^ h>>32) & mask
+}
+
+// NewSharded builds an empty sharded cache.
+func NewSharded[V any](opt ShardedOptions[V]) *Sharded[V] {
+	n := opt.Shards
+	if n <= 0 {
+		n = defaultShards()
+	}
+	n = nextPow2(n)
+	if opt.Capacity < 1 {
+		opt.Capacity = 1
+	}
+	per := (opt.Capacity + n - 1) / n
+	s := &Sharded[V]{shards: make([]*LRU[V], n), mask: uint64(n - 1)}
+	for i := range s.shards {
+		s.shards[i] = NewLRU(LRUOptions[V]{
+			Capacity: per,
+			OnHit:    opt.OnHit,
+			OnMiss:   opt.OnMiss,
+			Weigh:    opt.Weigh,
+			OnEvict:  opt.OnEvict,
+		})
+	}
+	return s
+}
+
+func (s *Sharded[V]) shard(key string) *LRU[V] {
+	return s.shards[shardIndex(key, s.mask)]
+}
+
+// ShardCount reports the number of shards.
+func (s *Sharded[V]) ShardCount() int { return len(s.shards) }
+
+// GetOrCompute returns the cached value for key, or runs fn once to
+// produce it; concurrent callers of the same key coalesce on one
+// computation inside the key's shard. Semantics match LRU.GetOrCompute
+// exactly (errors uncached, panics surface as *PanicError).
+func (s *Sharded[V]) GetOrCompute(key string, fn func() (V, error)) (V, bool, error) {
+	return s.shard(key).GetOrCompute(key, fn)
+}
+
+// Add inserts (or refreshes) an entry in its shard.
+func (s *Sharded[V]) Add(key string, val V) { s.shard(key).Add(key, val) }
+
+// Peek reports the resident value without touching recency or the
+// observers.
+func (s *Sharded[V]) Peek(key string) (V, bool) { return s.shard(key).Peek(key) }
+
+// Len returns the resident entries summed across shards.
+func (s *Sharded[V]) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// Entries returns every shard's resident entries, eviction order
+// (least recently used first) within each shard, shards in index
+// order. There is no global recency order across shards — recency is
+// a per-shard notion — but feeding the result back through Add
+// reconstructs contents and per-shard recency, which is all eviction
+// ever consults.
+func (s *Sharded[V]) Entries() []Entry[V] {
+	var out []Entry[V]
+	for _, sh := range s.shards {
+		out = append(out, sh.Entries()...)
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestShardedSingleShardParity pins the contract the service tests rely
+// on: a Sharded with Shards: 1 makes exactly the same decisions as a
+// bare LRU fed the identical operation sequence — same hits, same
+// residency, same eviction order.
+func TestShardedSingleShardParity(t *testing.T) {
+	bare := NewLRU(LRUOptions[int]{Capacity: 4})
+	sharded := NewSharded(ShardedOptions[int]{Capacity: 4, Shards: 1})
+
+	// A mixed workload: inserts past capacity, refreshes, repeat gets.
+	keys := []string{"a", "b", "c", "d", "e", "b", "f", "a", "g", "c", "b"}
+	for i, k := range keys {
+		v := i * 10
+		bv, bhit, _ := bare.GetOrCompute(k, func() (int, error) { return v, nil })
+		sv, shit, _ := sharded.GetOrCompute(k, func() (int, error) { return v, nil })
+		if bhit != shit || bv != sv {
+			t.Fatalf("op %d (%s): bare (v=%d hit=%v) vs sharded (v=%d hit=%v)", i, k, bv, bhit, sv, shit)
+		}
+	}
+	if bare.Len() != sharded.Len() {
+		t.Fatalf("Len: bare %d vs sharded %d", bare.Len(), sharded.Len())
+	}
+	be, se := bare.Entries(), sharded.Entries()
+	for i := range be {
+		if be[i] != se[i] {
+			t.Fatalf("entry %d: bare %+v vs sharded %+v (eviction order diverged)", i, be[i], se[i])
+		}
+	}
+}
+
+// TestShardedParityUnderUniformWeights: with uniform weights the
+// sharded cache and a per-shard set of bare LRUs make identical
+// eviction decisions, because a key's shard is a pure function of its
+// bytes. This is the "sharding moves entries, never changes policy"
+// invariant.
+func TestShardedParityUnderUniformWeights(t *testing.T) {
+	const shards, capacity = 4, 8
+	sharded := NewSharded(ShardedOptions[int]{Capacity: capacity, Shards: shards})
+	// A reference model: one bare LRU per shard with the same per-shard
+	// capacity split the constructor uses.
+	per := (capacity + shards - 1) / shards
+	ref := make([]*LRU[int], shards)
+	for i := range ref {
+		ref[i] = NewLRU(LRUOptions[int]{Capacity: per})
+	}
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("key-%d", i%12)
+		v := i
+		sharded.GetOrCompute(k, func() (int, error) { return v, nil })
+		ref[shardIndex(k, uint64(shards-1))].GetOrCompute(k, func() (int, error) { return v, nil })
+	}
+	want := map[string]int{}
+	for _, l := range ref {
+		for _, e := range l.Entries() {
+			want[e.Key] = e.Val
+		}
+	}
+	got := map[string]int{}
+	for _, e := range sharded.Entries() {
+		got[e.Key] = e.Val
+	}
+	if len(got) != len(want) {
+		t.Fatalf("residency diverged: sharded %d entries vs model %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if gv, ok := got[k]; !ok || gv != v {
+			t.Errorf("key %s: sharded has (%d,%v), model has %d", k, gv, ok, v)
+		}
+	}
+}
+
+// TestShardedDefaultShardCount: zero Shards picks the next power of two
+// >= 2 x GOMAXPROCS, and explicit counts round up to a power of two.
+func TestShardedDefaultShardCount(t *testing.T) {
+	s := NewSharded(ShardedOptions[int]{Capacity: 16})
+	want := nextPow2(2 * runtime.GOMAXPROCS(0))
+	if got := s.ShardCount(); got != want {
+		t.Errorf("default ShardCount = %d, want %d (2 x GOMAXPROCS=%d rounded up)", got, want, runtime.GOMAXPROCS(0))
+	}
+	if got := NewSharded(ShardedOptions[int]{Capacity: 16, Shards: 5}).ShardCount(); got != 8 {
+		t.Errorf("Shards: 5 gave %d shards, want 8 (next power of two)", got)
+	}
+	for _, n := range []int{1, 2, 8} {
+		if got := NewSharded(ShardedOptions[int]{Capacity: 16, Shards: n}).ShardCount(); got != n {
+			t.Errorf("Shards: %d gave %d shards, want exactly %d", n, got, n)
+		}
+	}
+}
+
+// TestShardIndexDeterministic: the shard hash must be a pure function
+// of the key bytes (it decides which spill decisions a key sees across
+// restarts), and must actually spread keys.
+func TestShardIndexDeterministic(t *testing.T) {
+	const mask = 15
+	used := map[uint64]bool{}
+	for i := 0; i < 256; i++ {
+		k := fmt.Sprintf("sim|W%d|tiny|BASE|baseline|1", i)
+		a, b := shardIndex(k, mask), shardIndex(k, mask)
+		if a != b {
+			t.Fatalf("shardIndex(%q) unstable: %d vs %d", k, a, b)
+		}
+		if a > mask {
+			t.Fatalf("shardIndex(%q) = %d escapes mask %d", k, a, mask)
+		}
+		used[a] = true
+	}
+	if len(used) < 12 {
+		t.Errorf("256 keys landed on only %d of 16 shards — hash is not spreading", len(used))
+	}
+}
+
+// TestShardedCoalescing: concurrent callers of one key coalesce on a
+// single computation inside the key's shard, even with many shards.
+func TestShardedCoalescing(t *testing.T) {
+	s := NewSharded(ShardedOptions[int]{Capacity: 64, Shards: 8})
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := s.GetOrCompute("hot", func() (int, error) {
+				computes.Add(1)
+				<-gate
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("GetOrCompute = (%d, %v)", v, err)
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Errorf("%d computations for one key, want 1 (coalescing broken)", n)
+	}
+}
+
+// TestShardedPanicPropagation: a panicking computation surfaces as
+// *PanicError from the key's shard and is not cached.
+func TestShardedPanicPropagation(t *testing.T) {
+	s := NewSharded(ShardedOptions[int]{Capacity: 8, Shards: 4})
+	_, _, err := s.GetOrCompute("boom", func() (int, error) { panic("kapow") })
+	var pe *PanicError
+	if !errors.As(err, &pe) || fmt.Sprint(pe.Value) != "kapow" {
+		t.Fatalf("err = %v, want *PanicError{kapow}", err)
+	}
+	v, _, err := s.GetOrCompute("boom", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("panicked entry was cached: got (%d, %v), want fresh 7", v, err)
+	}
+}
+
+// TestShardedOnEvictDelivery: evictions from any shard reach the single
+// OnEvict hook with the entry's key, value and sampled weight.
+func TestShardedOnEvictDelivery(t *testing.T) {
+	var mu sync.Mutex
+	evicted := map[string]Weight{}
+	s := NewSharded(ShardedOptions[int]{
+		Capacity: 4, Shards: 4,
+		Weigh: func(v int) Weight { return Weight{Cost: float64(v), Bytes: 8} },
+		OnEvict: func(key string, val int, w Weight) {
+			mu.Lock()
+			evicted[key] = w
+			mu.Unlock()
+		},
+	})
+	// Capacity 4 over 4 shards = 1 per shard: any two keys on the same
+	// shard force an eviction.
+	for i := 0; i < 32; i++ {
+		s.Add(fmt.Sprintf("k%d", i), i+1)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(evicted)+s.Len() != 32 {
+		t.Fatalf("%d evicted + %d resident != 32 inserted", len(evicted), s.Len())
+	}
+	for k, w := range evicted {
+		if w.Bytes != 8 || w.Cost < 1 {
+			t.Errorf("evicted %s carried weight %+v, want the Weigh-sampled one", k, w)
+		}
+	}
+}
+
+// TestShardedConcurrentStorm is the -race workout: every operation the
+// service performs, hammered across shards by goroutines. Run with
+// -race; the assertions only pin that nothing is lost or duplicated.
+func TestShardedConcurrentStorm(t *testing.T) {
+	s := NewSharded(ShardedOptions[int]{
+		Capacity: 128, Shards: 8,
+		Weigh:   func(v int) Weight { return Weight{Cost: 1, Bytes: 1} },
+		OnEvict: func(string, int, Weight) {},
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			r := uint64(seed)*2654435761 + 1
+			for i := 0; i < 2000; i++ {
+				r ^= r << 13
+				r ^= r >> 7
+				r ^= r << 17
+				k := fmt.Sprintf("k%d", r%256)
+				switch r % 4 {
+				case 0:
+					s.Add(k, int(r%1000))
+				case 1:
+					s.Peek(k)
+				case 2:
+					s.Len()
+				default:
+					v, _, err := s.GetOrCompute(k, func() (int, error) { return int(r % 1000), nil })
+					if err != nil || v < 0 || v >= 1000 {
+						t.Errorf("GetOrCompute(%s) = (%d, %v)", k, v, err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := s.Len(); n > 128+7 {
+		// Capacity splits rounding up: at most Shards-1 above the request.
+		t.Errorf("storm left %d resident entries, capacity bound is %d", n, 128+7)
+	}
+	seen := map[string]bool{}
+	for _, e := range s.Entries() {
+		if seen[e.Key] {
+			t.Errorf("key %s resident in two shards", e.Key)
+		}
+		seen[e.Key] = true
+	}
+}
+
+// TestShardedEntriesShardOrder: Entries reports shards in index order
+// and per-shard LRU order, which is what snapshot/migration code feeds
+// back through Add.
+func TestShardedEntriesShardOrder(t *testing.T) {
+	s := NewSharded(ShardedOptions[int]{Capacity: 64, Shards: 4})
+	var keys []string
+	for i := 0; i < 16; i++ {
+		k := fmt.Sprintf("k%d", i)
+		keys = append(keys, k)
+		s.Add(k, i)
+	}
+	var got []string
+	lastShard := uint64(0)
+	for _, e := range s.Entries() {
+		sh := shardIndex(e.Key, s.mask)
+		if sh < lastShard {
+			t.Fatalf("entry %s from shard %d appeared after shard %d", e.Key, sh, lastShard)
+		}
+		lastShard = sh
+		got = append(got, e.Key)
+	}
+	sort.Strings(got)
+	sort.Strings(keys)
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("Entries lost or invented keys: %v vs %v", got, keys)
+		}
+	}
+}

@@ -1,7 +1,7 @@
 // Package fault is the valleymap fault-injection registry: named
 // injection points compiled into the seams the chaos suite exercises —
-// snapshot disk writes, mmap opens, worker execution, cell computation
-// — that do nothing at all in a normal build.
+// spill-tier disk reads/writes, mmap opens, worker execution, cell
+// computation — that do nothing at all in a normal build.
 //
 // # Contract
 //
@@ -34,8 +34,9 @@
 // shape per point (Err, Fail, Sleep or Torn) so chaos tests can reason
 // about what arming a point does:
 //
-//	SnapshotWrite  Err    snapshot temp-file write fails with the rule's error
-//	SnapshotTorn   Torn   snapshot payload is truncated mid-write (torn write)
+//	SpillWrite     Err    spill entry write fails with the rule's error
+//	SpillRead      Err    spill entry read fails; the lookup is a miss
+//	SpillTorn      Torn   spill entry is truncated mid-write (torn write)
 //	MmapOpen       Fail   mmap syscall is skipped; open falls back to copy reads
 //	WorkerDelay    Sleep  a sweep cell stalls (slow/wedged worker)
 //	CellPanic      Fail   a sweep cell panics mid-compute
@@ -45,6 +46,6 @@
 // concurrent sweeps with randomized combinations of these faults and
 // asserts the standing invariants: every accepted job reaches a
 // terminal state, no goroutine leaks, per-subscriber stream ordering
-// holds, the cache and snapshot never serve corrupt results, and a
+// holds, the cache and spill tier never serve corrupt results, and a
 // restarted daemon recovers cleanly.
 package fault

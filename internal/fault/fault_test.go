@@ -12,14 +12,14 @@ import (
 
 func TestDisarmedHooksAreZero(t *testing.T) {
 	Reset()
-	if err := Err(SnapshotWrite); err != nil {
+	if err := Err(SpillWrite); err != nil {
 		t.Fatalf("Err on disarmed point = %v, want nil", err)
 	}
 	if Fail(CellPanic) {
 		t.Fatal("Fail on disarmed point = true, want false")
 	}
 	data := []byte("abcdef")
-	if got := Torn(SnapshotTorn, data); string(got) != "abcdef" {
+	if got := Torn(SpillTorn, data); string(got) != "abcdef" {
 		t.Fatalf("Torn on disarmed point = %q, want passthrough", got)
 	}
 	start := time.Now()
@@ -30,7 +30,7 @@ func TestDisarmedHooksAreZero(t *testing.T) {
 	if Armed() {
 		t.Fatal("Armed() = true after Reset")
 	}
-	if n := Fired(SnapshotWrite); n != 0 {
+	if n := Fired(SpillWrite); n != 0 {
 		t.Fatalf("Fired on disarmed point = %d, want 0", n)
 	}
 }
@@ -41,16 +41,16 @@ func TestArming(t *testing.T) {
 	Seed(42)
 
 	boom := errors.New("boom")
-	InjectError(SnapshotWrite, 1.0, boom)
+	InjectError(SpillWrite, 1.0, boom)
 	InjectFail(CellPanic, 1.0)
-	InjectFail(SnapshotTorn, 1.0)
+	InjectFail(SpillTorn, 1.0)
 
 	if !Enabled {
 		// Disabled build: arming must be a silent no-op.
 		if Armed() {
 			t.Fatal("Armed() = true in disabled build")
 		}
-		if err := Err(SnapshotWrite); err != nil {
+		if err := Err(SpillWrite); err != nil {
 			t.Fatalf("Err in disabled build = %v, want nil", err)
 		}
 		if Fail(CellPanic) {
@@ -62,22 +62,22 @@ func TestArming(t *testing.T) {
 	if !Armed() {
 		t.Fatal("Armed() = false after arming")
 	}
-	if err := Err(SnapshotWrite); !errors.Is(err, boom) {
+	if err := Err(SpillWrite); !errors.Is(err, boom) {
 		t.Fatalf("Err = %v, want %v", err, boom)
 	}
 	if !Fail(CellPanic) {
 		t.Fatal("Fail at prob 1.0 = false")
 	}
 	data := []byte("abcdef")
-	got := Torn(SnapshotTorn, data)
+	got := Torn(SpillTorn, data)
 	if len(got) == 0 || len(got) >= len(data) {
 		t.Fatalf("Torn at prob 1.0 returned %d bytes of %d, want proper non-empty prefix", len(got), len(data))
 	}
 	if string(got) != string(data[:len(got)]) {
 		t.Fatalf("Torn result %q is not a prefix of %q", got, data)
 	}
-	if n := Fired(SnapshotWrite); n != 1 {
-		t.Fatalf("Fired(SnapshotWrite) = %d, want 1", n)
+	if n := Fired(SpillWrite); n != 1 {
+		t.Fatalf("Fired(SpillWrite) = %d, want 1", n)
 	}
 	if n := Fired(CellPanic); n != 1 {
 		t.Fatalf("Fired(CellPanic) = %d, want 1", n)
@@ -110,7 +110,7 @@ func TestArming(t *testing.T) {
 	if Armed() {
 		t.Fatal("Armed() = true after Reset")
 	}
-	if n := Fired(SnapshotWrite); n != 0 {
+	if n := Fired(SpillWrite); n != 0 {
 		t.Fatalf("Fired after Reset = %d, want 0", n)
 	}
 }

@@ -4,12 +4,16 @@ package fault
 // shape (noted per point); arming a point with a mismatched rule kind
 // is a no-op.
 const (
-	// SnapshotWrite (Err): the sim-cache snapshot temp-file write
-	// fails with the injected error before any bytes land.
-	SnapshotWrite = "snapshot.write"
-	// SnapshotTorn (Torn): the snapshot payload is truncated to a
-	// random prefix, simulating a crash mid-write.
-	SnapshotTorn = "snapshot.torn"
+	// SpillWrite (Err): a spill-tier entry write fails with the
+	// injected error before any bytes land (the entry is dropped).
+	SpillWrite = "spill.write"
+	// SpillRead (Err): a spill-tier entry read fails with the injected
+	// error; the lookup reads as a miss.
+	SpillRead = "spill.read"
+	// SpillTorn (Torn): a spill entry's framed bytes are truncated to
+	// a random prefix but the rename still publishes the file,
+	// simulating a crash mid-write caught later by the read checksum.
+	SpillTorn = "spill.torn"
 	// MmapOpen (Fail): the mmap syscall path is skipped so OpenMmap
 	// exercises its read-into-memory fallback.
 	MmapOpen = "mmap.open"

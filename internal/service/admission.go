@@ -176,12 +176,16 @@ func (s *Service) meanOr(fallback float64) float64 {
 }
 
 // countCachedCells counts how many of the sweep's cells are resident in
-// the sim cache right now, without touching recency (Peek), so the
-// admission probe does not distort eviction order.
+// either cache tier right now, without touching recency, promotion or
+// the disk (Contains), so the admission probe does not distort eviction
+// order. Spill-tier entries count as cached: a spilled cell costs one
+// file read, not simulation seconds, so a fully-spilled repeat sweep
+// prices near zero and must not be shed with a 429 on backlog math
+// that assumes it will simulate.
 func (s *Service) countCachedCells(keys []string) int {
 	n := 0
 	for _, k := range keys {
-		if _, ok := s.simCache.Peek(k); ok {
+		if s.simCache.Contains(k) {
 			n++
 		}
 	}

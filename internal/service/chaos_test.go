@@ -6,8 +6,8 @@ package service
 // -race): seeded fault injection over concurrent sweeps, asserting the
 // daemon's core robustness contracts — every accepted job reaches a
 // terminal state, event streams keep their per-subscriber ordering,
-// goroutine counts return to baseline, the snapshot/cache layer never
-// serves corrupt results, and a restarted daemon recovers cleanly.
+// goroutine counts return to baseline, the cache and its spill tier
+// never serve corrupt results, and a restarted daemon recovers cleanly.
 
 import (
 	"bufio"
@@ -246,21 +246,21 @@ func TestChaosStorm(t *testing.T) {
 	}
 }
 
-// TestChaosSnapshotResilience drives the snapshot layer through its
-// failure modes: write errors burn the bounded retry budget and count
-// in the metric; a torn (truncated) write that still gets renamed into
-// place is caught by the load-path checksum so a restarted daemon
-// starts cold rather than serving corrupt cells; and the recomputed
-// results are identical to the pre-fault originals.
-func TestChaosSnapshotResilience(t *testing.T) {
+// TestChaosSpillResilience drives the spill tier through its failure
+// modes: write errors are counted and cost only warmth (Close still
+// returns); a torn (truncated) entry that still gets renamed into
+// place is caught by the checksum at the next startup's scan, so a
+// restarted daemon starts cold rather than serving corrupt cells; and
+// the recomputed results are identical to the pre-fault originals.
+func TestChaosSpillResilience(t *testing.T) {
 	fault.Reset()
 	t.Cleanup(fault.Reset)
 	testutil.CheckGoroutineLeaks(t)
-	path := filepath.Join(t.TempDir(), "simcache.snap")
+	dir := filepath.Join(t.TempDir(), "spill")
 	req := SimulateRequest{Workloads: []string{"SP", "NW"}, Schemes: []string{"BASE"}, Scale: "tiny"}
 
 	// Phase 1: clean run, remember the true cell values.
-	s1 := New(Config{Workers: 2, SimCacheSnapshot: path})
+	s1 := New(Config{Workers: 2, SpillDir: dir})
 	job, err := s1.Simulate(req)
 	if err != nil {
 		t.Fatal(err)
@@ -274,21 +274,23 @@ func TestChaosSnapshotResilience(t *testing.T) {
 		truth[c.Workload+"/"+c.Scheme] = c.ExecTimePS
 	}
 
-	// Phase 2: every write attempt fails. Close must retry the bounded
-	// budget, count each failure, and give up without hanging.
-	fault.InjectError(fault.SnapshotWrite, 1.0, nil)
+	// Phase 2: every spill write fails. Close's shutdown spill must
+	// count each failure and return without hanging — lost warmth,
+	// never a lost shutdown.
+	fault.InjectError(fault.SpillWrite, 1.0, nil)
 	s1.Close()
-	if got := s1.Metrics().SnapshotWriteFailures(); got != snapshotWriteAttempts {
-		t.Errorf("SnapshotWriteFailures = %d, want %d (bounded retry budget)", got, snapshotWriteAttempts)
+	if got := s1.Metrics().SpillErrors(); got < 2 {
+		t.Errorf("SpillErrors = %d after an all-writes-fail shutdown, want >= 2", got)
 	}
-	if fault.Fired(fault.SnapshotWrite) == 0 {
-		t.Fatal("SnapshotWrite fault point never fired — the seam is dead")
+	if fault.Fired(fault.SpillWrite) == 0 {
+		t.Fatal("SpillWrite fault point never fired — the seam is dead")
 	}
 
-	// Phase 3: a torn write gets renamed into place. The file exists
-	// but is truncated; the next daemon must detect it and start cold.
+	// Phase 3: torn writes get renamed into place. The entry files
+	// exist but are truncated; the next daemon must detect and discard
+	// them at scan time.
 	fault.Reset()
-	s2 := New(Config{Workers: 2, SimCacheSnapshot: path})
+	s2 := New(Config{Workers: 2, SpillDir: dir})
 	job2, err := s2.Simulate(req)
 	if err != nil {
 		t.Fatal(err)
@@ -296,19 +298,24 @@ func TestChaosSnapshotResilience(t *testing.T) {
 	if j2 := waitJob(t, s2, job2.ID); j2.Status != JobDone {
 		t.Fatalf("phase-3 sweep ended %s: %s", j2.Status, j2.Error)
 	}
-	fault.InjectFail(fault.SnapshotTorn, 1.0)
+	fault.InjectFail(fault.SpillTorn, 1.0)
 	s2.Close()
-	if fault.Fired(fault.SnapshotTorn) == 0 {
-		t.Fatal("SnapshotTorn fault point never fired — the seam is dead")
+	if fault.Fired(fault.SpillTorn) == 0 {
+		t.Fatal("SpillTorn fault point never fired — the seam is dead")
 	}
 	fault.Reset()
 
-	// Phase 4: restart over the torn file. It must load nothing (cold
-	// start, not a crash), recompute, and produce the original values.
-	s3 := New(Config{Workers: 2, SimCacheSnapshot: path})
+	// Phase 4: restart over the torn spill dir. The scan must remove
+	// the damaged entries (cold start, not a crash), the sweep must
+	// recompute rather than claim cached, and the recomputed values
+	// must bit-match the phase-1 truth.
+	s3 := New(Config{Workers: 2, SpillDir: dir})
 	defer s3.Close()
-	if _, loaded := s3.Metrics().SnapshotCounts(); loaded != 0 {
-		t.Errorf("torn snapshot loaded %d entries, want a cold start", loaded)
+	if n := s3.simCache.DiskLen(); n != 0 {
+		t.Errorf("torn spill dir loaded %d entries, want a cold start", n)
+	}
+	if got := s3.Metrics().SpillErrors(); got < 2 {
+		t.Errorf("SpillErrors = %d after scanning torn entries, want >= 2", got)
 	}
 	job3, err := s3.Simulate(req)
 	if err != nil {
@@ -320,7 +327,7 @@ func TestChaosSnapshotResilience(t *testing.T) {
 	}
 	for _, c := range j3.Result.Cells {
 		if c.Cached {
-			t.Errorf("cell %s/%s claims cached after a torn snapshot", c.Workload, c.Scheme)
+			t.Errorf("cell %s/%s claims cached after a torn spill", c.Workload, c.Scheme)
 		}
 		if got, want := c.ExecTimePS, truth[c.Workload+"/"+c.Scheme]; got != want {
 			t.Errorf("cell %s/%s exec time = %d ps after recovery, want %d", c.Workload, c.Scheme, got, want)

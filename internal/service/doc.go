@@ -1,12 +1,14 @@
 // Package service is the engine behind valleyd: it packages the
 // library's entropy profiling, mapping advice and full-system simulation
 // as a concurrent, cached network service. The building blocks are a
-// content-addressed LRU profile cache with in-flight coalescing
-// (cache.go, over internal/cache.LRU), a bounded worker pool executing
-// simulation sweep jobs (jobs.go), a per-job event bus streaming sweep
-// progress (events.go), durable snapshots of the simulation-result
-// cache (snapshot.go), and a stdlib net/http JSON API over all of it
-// (http.go), with Prometheus-style plain-text metrics (metrics.go).
+// sharded content-addressed profile cache with in-flight coalescing
+// (cache.go, over internal/cache.Sharded), a bounded worker pool
+// executing simulation sweep jobs (jobs.go), a per-job event bus
+// streaming sweep progress (events.go), a two-tier simulation-result
+// cache that spills to disk (cache.go, over internal/cache.Tiered,
+// with legacy snapshot migration in snapshot.go), and a stdlib
+// net/http JSON API over all of it (http.go), with Prometheus-style
+// plain-text metrics (metrics.go).
 //
 // # Streaming sweeps
 //
@@ -72,30 +74,31 @@
 // served inline on the dispatcher goroutine
 // (valleyd_sweeps_degraded_total).
 //
-// # Durable simulation cache
+// # Two-tier simulation cache
 //
 // Sweep cells are pure functions of (workload, scale, scheme, config,
 // seed) and expensive to compute, so the simulation-result cache is
-// both cost-aware and durable. Eviction is cost-weighted: each cell
-// carries its measured simulation seconds, and among the
-// least-recently-used entries the cheapest-per-byte is evicted first,
-// so one order-of-magnitude-more-expensive cell outlives a crowd of
-// trivial ones. With Config.SimCacheSnapshot set, the cache is written
-// to a versioned, checksummed snapshot file periodically and on Close,
-// and loaded on New — a restarted valleyd answers repeat sweeps from
-// cache (cells report "cached": true). Snapshots that fail validation
-// (truncated, corrupt, wrong version) load as a clean empty cache.
-// Snapshot writes are atomic (temp file + rename) and retried with
-// capped exponential backoff on failure
-// (valleyd_snapshot_write_failures_total counts attempts); a torn
-// write that still lands is caught by the load-path checksum, so
-// corrupt bytes are never served as results.
+// cost-aware, sharded and (optionally) disk-backed. Eviction is
+// cost-weighted: each cell carries its measured simulation seconds,
+// and among the least-recently-used entries the cheapest-per-byte is
+// evicted first, so one order-of-magnitude-more-expensive cell
+// outlives a crowd of trivial ones. With Config.SpillDir set, evicted
+// cells spill asynchronously to one checksummed file each and promote
+// back into memory on demand; Close spills the resident working set,
+// so a restarted valleyd answers repeat sweeps from cache (cells
+// report "cached": true, valleyd_cache_tier_hits_total{tier="disk"}
+// counts the disk serves). Spill damage of any kind — failed writes,
+// torn files, corrupt entries — degrades to a recomputed miss, never
+// an error or corrupt bytes; see internal/cache's package docs for the
+// full two-tier contract. A legacy VSIMCSH1 snapshot file named by
+// Config.SimCacheSnapshot is loaded on New and migrated into the spill
+// directory once (snapshot.go).
 //
 // # Fault injection
 //
 // The failure paths above are exercised by a chaos suite driven
-// through internal/fault: build-tagged injection points at the
-// snapshot writer, the mmap opener and the sweep cells. In normal
+// through internal/fault: build-tagged injection points at the spill
+// tier's writes and reads, the mmap opener and the sweep cells. In normal
 // builds every hook is a compiled-out no-op; see internal/fault's
 // package documentation for the seam contract and chaos_test.go for
 // the suite.

@@ -54,20 +54,27 @@ type Metrics struct {
 	// goroutine before the recovery wrappers existed.
 	workerPanics atomic.Int64
 
-	// Snapshot persistence: completed snapshot writes, entries loaded
-	// at startup, entries in the most recent write, and write attempts
-	// that failed (each retry that fails counts once).
-	snapshotSaves         atomic.Int64
-	snapshotLoaded        atomic.Int64
-	snapshotEntries       atomic.Int64
-	snapshotWriteFailures atomic.Int64
+	// Tiered sim-cache accounting: hits split by serving tier, and the
+	// spill tier's write-behind/janitor activity. spillErrors counts
+	// damage events (failed writes, corrupt or unreadable entries) that
+	// degraded to a miss; legacyMigrated counts VSIMCSH1 snapshot
+	// entries migrated into the spill dir at startup.
+	tierHitsMem     atomic.Int64
+	tierHitsDisk    atomic.Int64
+	spillWrites     atomic.Int64
+	spillWriteDrops atomic.Int64
+	spillEvictions  atomic.Int64
+	spillErrors     atomic.Int64
+	legacyMigrated  atomic.Int64
 
 	// Gauges are sampled at render time from the owning structures.
-	queueDepth  func() int
-	workersBusy func() int
-	workers     int
-	cacheLen    func() int
-	simCacheLen func() int
+	queueDepth   func() int
+	workersBusy  func() int
+	workers      int
+	cacheLen     func() int
+	simCacheLen  func() int
+	spillEntries func() int
+	spillBytes   func() int64
 
 	// Latency histograms. stageCSV/Binary/Native are the pre-resolved
 	// per-format children of stageDur, held so the per-batch streaming
@@ -197,13 +204,23 @@ func (m *Metrics) StreamEventDropped() { m.streamEventsDropped.Add(1) }
 // StreamEventsDropped returns total slow-consumer wakeup drops.
 func (m *Metrics) StreamEventsDropped() int64 { return m.streamEventsDropped.Load() }
 
-// SnapshotCounts returns (saves completed, entries loaded at startup).
-func (m *Metrics) SnapshotCounts() (saves, loaded int64) {
-	return m.snapshotSaves.Load(), m.snapshotLoaded.Load()
+// TierHits returns sim-cache hits split by serving tier.
+func (m *Metrics) TierHits() (mem, disk int64) {
+	return m.tierHitsMem.Load(), m.tierHitsDisk.Load()
 }
 
-// SnapshotWriteFailures returns failed snapshot write attempts.
-func (m *Metrics) SnapshotWriteFailures() int64 { return m.snapshotWriteFailures.Load() }
+// SpillCounts returns the spill tier's (writes landed, writes dropped
+// on queue overflow, janitor evictions) counters.
+func (m *Metrics) SpillCounts() (writes, drops, evictions int64) {
+	return m.spillWrites.Load(), m.spillWriteDrops.Load(), m.spillEvictions.Load()
+}
+
+// SpillErrors returns spill damage events degraded to cache misses.
+func (m *Metrics) SpillErrors() int64 { return m.spillErrors.Load() }
+
+// LegacyMigrated returns VSIMCSH1 snapshot entries migrated into the
+// spill directory at startup.
+func (m *Metrics) LegacyMigrated() int64 { return m.legacyMigrated.Load() }
 
 // JobsCanceled returns jobs terminated by cancellation or deadline.
 func (m *Metrics) JobsCanceled() int64 { return m.jobsCanceled.Load() }
@@ -320,18 +337,35 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	add("# HELP valleyd_worker_panics_total Panics recovered in sweep cells and pool workers.\n")
 	add("# TYPE valleyd_worker_panics_total counter\n")
 	add("valleyd_worker_panics_total %d\n", m.workerPanics.Load())
-	add("# HELP valleyd_sim_cache_snapshot_saves_total Simulation-cache snapshot files written.\n")
-	add("# TYPE valleyd_sim_cache_snapshot_saves_total counter\n")
-	add("valleyd_sim_cache_snapshot_saves_total %d\n", m.snapshotSaves.Load())
-	add("# HELP valleyd_sim_cache_snapshot_entries Entries in the most recent snapshot write.\n")
-	add("# TYPE valleyd_sim_cache_snapshot_entries gauge\n")
-	add("valleyd_sim_cache_snapshot_entries %d\n", m.snapshotEntries.Load())
-	add("# HELP valleyd_sim_cache_snapshot_loaded_entries Entries rehydrated from the snapshot at startup.\n")
-	add("# TYPE valleyd_sim_cache_snapshot_loaded_entries gauge\n")
-	add("valleyd_sim_cache_snapshot_loaded_entries %d\n", m.snapshotLoaded.Load())
-	add("# HELP valleyd_snapshot_write_failures_total Simulation-cache snapshot write attempts that failed (retried with capped backoff).\n")
-	add("# TYPE valleyd_snapshot_write_failures_total counter\n")
-	add("valleyd_snapshot_write_failures_total %d\n", m.snapshotWriteFailures.Load())
+	add("# HELP valleyd_cache_tier_hits_total Simulation-cache hits by serving tier (mem: resident or in-flight join; disk: promoted from the spill store).\n")
+	add("# TYPE valleyd_cache_tier_hits_total counter\n")
+	add("valleyd_cache_tier_hits_total{tier=\"mem\"} %d\n", m.tierHitsMem.Load())
+	add("valleyd_cache_tier_hits_total{tier=\"disk\"} %d\n", m.tierHitsDisk.Load())
+	add("# HELP valleyd_cache_spill_writes_total Spill entry files landed by the write-behind goroutine.\n")
+	add("# TYPE valleyd_cache_spill_writes_total counter\n")
+	add("valleyd_cache_spill_writes_total %d\n", m.spillWrites.Load())
+	add("# HELP valleyd_cache_spill_write_drops_total Pending spill writes discarded on write-behind queue overflow (lost warmth, never correctness).\n")
+	add("# TYPE valleyd_cache_spill_write_drops_total counter\n")
+	add("valleyd_cache_spill_write_drops_total %d\n", m.spillWriteDrops.Load())
+	add("# HELP valleyd_cache_spill_evictions_total Spill entries evicted by the byte-budget janitor (lowest cost-per-byte first).\n")
+	add("# TYPE valleyd_cache_spill_evictions_total counter\n")
+	add("valleyd_cache_spill_evictions_total %d\n", m.spillEvictions.Load())
+	add("# HELP valleyd_cache_spill_errors_total Spill damage events (failed writes, corrupt or unreadable entries) degraded to cache misses.\n")
+	add("# TYPE valleyd_cache_spill_errors_total counter\n")
+	add("valleyd_cache_spill_errors_total %d\n", m.spillErrors.Load())
+	add("# HELP valleyd_sim_cache_legacy_migrated_entries Legacy VSIMCSH1 snapshot entries migrated into the spill directory at startup.\n")
+	add("# TYPE valleyd_sim_cache_legacy_migrated_entries gauge\n")
+	add("valleyd_sim_cache_legacy_migrated_entries %d\n", m.legacyMigrated.Load())
+	if m.spillEntries != nil {
+		add("# HELP valleyd_cache_spill_entries Entry files resident in the spill directory.\n")
+		add("# TYPE valleyd_cache_spill_entries gauge\n")
+		add("valleyd_cache_spill_entries %d\n", m.spillEntries())
+	}
+	if m.spillBytes != nil {
+		add("# HELP valleyd_cache_spill_bytes Bytes resident in the spill directory.\n")
+		add("# TYPE valleyd_cache_spill_bytes gauge\n")
+		add("valleyd_cache_spill_bytes %d\n", m.spillBytes())
+	}
 
 	if m.queueDepth != nil {
 		add("# HELP valleyd_queue_depth Tasks waiting in the worker-pool queue.\n")

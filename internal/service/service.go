@@ -77,16 +77,24 @@ type Config struct {
 	// magic) inside this directory, so local multi-GB traces take the
 	// zero-copy mmap path instead of an HTTP body copy.
 	TraceDir string
-	// SimCacheSnapshot, when set, makes the simulation-result cache
-	// durable: the file is loaded on startup (a missing, truncated,
-	// corrupt or wrong-version file loads as a clean empty cache) and
-	// written periodically and on Close, so a restarted valleyd serves
-	// repeat sweeps warm.
+	// SpillDir, when set, makes the simulation-result cache durable and
+	// larger than RAM: entries evicted from memory spill to
+	// per-entry checksummed files under this directory (written by an
+	// async write-behind goroutine), misses read through and promote
+	// back, and Close drains the resident set to disk so a restarted
+	// valleyd serves repeat sweeps warm. Damaged entries load as
+	// misses, never errors.
+	SpillDir string
+	// SpillMaxBytes bounds the spill directory; a janitor evicts the
+	// lowest cost-per-byte entries to stay under it (0 = 1 GiB;
+	// negative = unbounded). Ignored without SpillDir.
+	SpillMaxBytes int64
+	// SimCacheSnapshot names a legacy VSIMCSH1 snapshot file from
+	// before the spill tier existed. With SpillDir set, the file is
+	// migrated into the spill directory once at startup (then renamed
+	// aside); without SpillDir it is load-only: read at startup, never
+	// written. The snapshot writer is retired.
 	SimCacheSnapshot string
-	// SimCacheSnapshotInterval spaces periodic snapshot writes
-	// (0 = 5 min; < 0 disables periodic writes, keeping only the
-	// on-Close write). Ignored without SimCacheSnapshot.
-	SimCacheSnapshotInterval time.Duration
 	// DefaultDeadline, when positive, bounds every sweep that does not
 	// carry its own ?deadline_ms / X-Deadline-Ms budget: the job is
 	// canceled with a deadline_exceeded terminal event when it overruns.
@@ -117,8 +125,8 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs == 0 {
 		c.MaxJobs = 1000
 	}
-	if c.SimCacheSnapshotInterval == 0 {
-		c.SimCacheSnapshotInterval = 5 * time.Minute
+	if c.SpillMaxBytes == 0 {
+		c.SpillMaxBytes = 1 << 30
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
@@ -149,14 +157,11 @@ type Service struct {
 	// profileSem's scarce slots for a transfer's duration.
 	streamSem chan struct{}
 	start     time.Time
-	// Snapshot machinery (snapshot.go): snapStop ends the periodic
-	// writer; snapWG waits for it; closeOnce makes Close idempotent.
-	snapStop  chan struct{}
-	snapWG    sync.WaitGroup
+	// closeOnce makes Close idempotent.
 	closeOnce sync.Once
 	// sweepWG tracks sweep dispatcher goroutines so Close can wait for
 	// every accepted job to reach a terminal state (done or failed)
-	// before the final snapshot is written. closeMu orders Simulate's
+	// before the resident cache is spilled. closeMu orders Simulate's
 	// Add against Close's Wait: Adds only happen while !closed, and
 	// closed is flipped under the lock before Wait starts, so the
 	// WaitGroup never sees an Add racing a Wait from zero.
@@ -166,57 +171,58 @@ type Service struct {
 }
 
 // New builds a service with its worker pool running. With
-// Config.SimCacheSnapshot set, the simulation-result cache is loaded
-// from the snapshot file (quietly starting empty if it is missing or
-// unreadable) and a background writer persists it periodically.
+// Config.SpillDir set, the simulation-result cache is two-tier: memory
+// over the spill directory, which is scanned (and any damaged entries
+// discarded) before serving. A legacy Config.SimCacheSnapshot file is
+// loaded — and, with a spill dir, migrated — at startup.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	m := NewMetrics()
+	var spill *cache.DiskStore
+	if cfg.SpillDir != "" {
+		var err error
+		spill, err = newSpillStore(cfg.SpillDir, cfg.SpillMaxBytes, m)
+		if err != nil {
+			// An unusable spill dir costs durability and warm capacity,
+			// never availability: run memory-only.
+			cfg.Logger.Warn("spill dir unusable, running memory-only", "dir", cfg.SpillDir, "error", err)
+		}
+	}
 	s := &Service{
 		cfg:        cfg,
 		log:        cfg.Logger,
 		metrics:    m,
 		cache:      newProfileCache(cfg.CacheEntries, m),
-		simCache:   newSimCache(cfg.SimCacheEntries, m),
+		simCache:   newSimCache(cfg.SimCacheEntries, spill, m),
 		jobs:       newJobStore(cfg.MaxJobs),
 		pool:       newPool(cfg.Workers, cfg.QueueDepth, m, cfg.Logger),
 		costs:      newCostModel(),
 		profileSem: make(chan struct{}, cfg.Workers),
 		streamSem:  make(chan struct{}, 4*cfg.Workers),
 		start:      time.Now(),
-		snapStop:   make(chan struct{}),
 	}
 	s.jobs.onDrop = m.StreamEventDropped
 	if cfg.SimCacheSnapshot != "" {
-		s.loadSimCacheSnapshot()
-		if cfg.SimCacheSnapshotInterval > 0 {
-			s.snapWG.Add(1)
-			go s.snapshotLoop()
-		}
+		s.loadLegacySnapshot(spill != nil)
 	}
 	return s
 }
 
 // Close drains the worker pool (in-flight cells finish; new
 // submissions are rejected), waits for every accepted job to reach a
-// terminal state, stops the periodic snapshot writer and, when
-// persistence is configured, writes a final simulation-cache snapshot
-// so a restarted service starts warm. Close is idempotent.
+// terminal state and, when a spill directory is configured, spills the
+// memory-resident cache and drains the write-behind queue so a
+// restarted service starts with the whole working set warm. Close is
+// idempotent.
 func (s *Service) Close() {
 	s.closeOnce.Do(func() {
 		s.closeMu.Lock()
 		s.closed = true
 		s.closeMu.Unlock()
-		close(s.snapStop)
-		s.snapWG.Wait()
 		s.pool.close()
 		s.sweepWG.Wait()
-		if s.cfg.SimCacheSnapshot != "" {
-			// nil stop: snapStop is already closed, and the shutdown
-			// save is the last chance to persist — let it use its full
-			// (bounded) retry budget.
-			s.saveSimCacheSnapshot(nil)
-		}
+		s.simCache.SpillAll()
+		s.simCache.Close()
 	})
 }
 
@@ -915,9 +921,10 @@ type SimulateResult struct {
 // simCell is what the simulation-result cache stores: the flattened
 // metrics of one (workload, scale, scheme, config, seed) cell, plus the
 // seconds the original simulation took — the cell's recompute cost,
-// which drives cost-weighted eviction and survives snapshots.
-// Sweep-relative fields (speedup, per-sweep wall time) are recomputed
-// per sweep. Fields are exported for the snapshot encoder.
+// which drives cost-weighted eviction in both tiers and survives
+// spills. Sweep-relative fields (speedup, per-sweep wall time) are
+// recomputed per sweep. Fields are exported for the spill codec (and
+// the legacy snapshot decoder).
 type simCell struct {
 	Res     experiments.ResultJSON `json:"result"`
 	Seconds float64                `json:"seconds"`
@@ -1294,11 +1301,11 @@ submit:
 				key := simCellKey(sp.Abbr, result.Scale, sc, result.Config, seed)
 				var (
 					cell *simCell
-					hit  bool
+					tier cache.Tier
 					err  error
 				)
 				for attempt := 0; ; attempt++ {
-					cell, hit, err = s.simCache.GetOrCompute(key, compute)
+					cell, tier, err = s.simCache.GetOrCompute(key, compute)
 					// In-flight coalescing wrinkle: joining another sweep's
 					// computation means inheriting its context error if that
 					// sweep is canceled. While our own job is still alive,
@@ -1342,6 +1349,9 @@ submit:
 					cellSpan.End()
 					return
 				}
+				// A spill-tier hit is a hit: the cell came from the cache,
+				// not the simulator, whichever tier held it.
+				hit := tier != cache.TierMiss
 				done := CellResult{
 					Workload:   sp.Abbr,
 					Scheme:     string(sc),

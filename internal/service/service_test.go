@@ -7,11 +7,21 @@ import (
 	"testing"
 	"time"
 
+	"valleymap/internal/cache"
 	"valleymap/internal/experiments"
 )
 
+// singleShardProfileCache pins per-shard LRU ordering for the tests
+// below: with one shard a Sharded cache is behaviorally identical to
+// the bare LRU (the internal/cache parity suite proves it), so
+// eviction-order assertions stay deterministic regardless of how keys
+// hash across the default shard count.
+func singleShardProfileCache(capacity int) *profileCache {
+	return cache.NewSharded(cache.ShardedOptions[*ProfileResult]{Capacity: capacity, Shards: 1})
+}
+
 func TestProfileCacheLRUEviction(t *testing.T) {
-	c := newProfileCache(2, NewMetrics())
+	c := singleShardProfileCache(2)
 	mk := func(key string) *ProfileResult { return &ProfileResult{CacheKey: key} }
 	for _, k := range []string{"a", "b", "c"} {
 		k := k
@@ -32,7 +42,7 @@ func TestProfileCacheLRUEviction(t *testing.T) {
 }
 
 func TestProfileCacheTouchRefreshesLRU(t *testing.T) {
-	c := newProfileCache(2, NewMetrics())
+	c := singleShardProfileCache(2)
 	mk := func(key string) *ProfileResult { return &ProfileResult{CacheKey: key} }
 	c.GetOrCompute("a", func() (*ProfileResult, error) { return mk("a"), nil })
 	c.GetOrCompute("b", func() (*ProfileResult, error) { return mk("b"), nil })

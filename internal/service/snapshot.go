@@ -1,12 +1,14 @@
 package service
 
-// Durable simulation-result cache. The sim cache is the expensive state
-// of a valleyd: cells take seconds to minutes to compute and are pure
-// functions of their key, so they are worth keeping across restarts.
-// Snapshots are versioned and checksummed; anything that fails
-// validation — truncation, corruption, a wrong version, a stray file —
-// loads as a clean empty cache rather than an error, because a cache is
-// always allowed to start cold.
+// Legacy sim-cache snapshot support. Before the spill tier, valleyd
+// persisted the whole sim cache as one checksummed VSIMCSH1 file; the
+// spill directory replaced it (per-entry files, write-behind,
+// byte-budget — see internal/cache). What remains here is the read
+// side: a configured legacy file is decoded at startup and, when a
+// spill dir is configured, migrated into it once — loaded into the
+// memory tier, spilled, and the file renamed aside so the next boot
+// does not re-migrate. Without a spill dir the file is load-only:
+// never rewritten, never renamed. The writer is retired entirely.
 //
 // File layout (all integers little-endian):
 //
@@ -16,7 +18,10 @@ package service
 //	sum     [32]byte SHA-256 of payload
 //
 // Entries are ordered least-recently-used first, so loading them in
-// order through Add reconstructs both contents and recency.
+// order through Add reconstructs both contents and recency. Anything
+// that fails validation — truncation, corruption, a wrong version, a
+// stray file — loads as a clean empty cache rather than an error,
+// because a cache is always allowed to start cold.
 
 import (
 	"bytes"
@@ -25,18 +30,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"os"
-	"path/filepath"
-	"time"
-
-	"valleymap/internal/fault"
 )
 
-// snapshotMagic identifies a sim-cache snapshot file; the trailing
-// digit is the format version, so a version bump changes the magic and
-// old readers/writers simply don't recognize each other's files.
+// snapshotMagic identifies a legacy sim-cache snapshot file; the
+// trailing digit is the format version, so a version bump changes the
+// magic and old readers/writers simply don't recognize each other's
+// files.
 var snapshotMagic = [8]byte{'V', 'S', 'I', 'M', 'C', 'S', 'H', '1'}
+
+// migratedSuffix is appended to a legacy snapshot file once its
+// entries have landed in the spill directory, so restarts do not
+// re-migrate (and the original bytes survive for manual recovery).
+const migratedSuffix = ".migrated"
 
 // snapshotEntry is one persisted cache cell.
 type snapshotEntry struct {
@@ -48,8 +54,8 @@ type snapshotPayload struct {
 	Entries []snapshotEntry `json:"entries"`
 }
 
-// encodeSnapshot renders the cache's resident entries in the snapshot
-// file format.
+// encodeSnapshot renders entries in the legacy snapshot file format.
+// Only tests build new snapshots now (to exercise the migration path).
 func encodeSnapshot(entries []snapshotEntry) ([]byte, error) {
 	payload, err := json.Marshal(snapshotPayload{Entries: entries})
 	if err != nil {
@@ -73,9 +79,9 @@ func encodeSnapshotRaw(payload []byte) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// decodeSnapshot parses and validates a snapshot file. Every failure
-// mode returns an error describing what was wrong; callers treat any
-// error as "start cold".
+// decodeSnapshot parses and validates a legacy snapshot file. Every
+// failure mode returns an error describing what was wrong; callers
+// treat any error as "start cold".
 func decodeSnapshot(data []byte) ([]snapshotEntry, error) {
 	const headerLen = 8 + 8
 	if len(data) < headerLen+sha256.Size {
@@ -100,142 +106,46 @@ func decodeSnapshot(data []byte) ([]snapshotEntry, error) {
 	return p.Entries, nil
 }
 
-// encodeCurrentSnapshot renders the live sim cache in the snapshot
-// file format, returning the entry count alongside — the single
-// renderer behind both the file writer and the test seam.
-func (s *Service) encodeCurrentSnapshot() ([]byte, int, error) {
-	entries := make([]snapshotEntry, 0)
-	for _, e := range s.simCache.Entries() {
-		entries = append(entries, snapshotEntry{Key: e.Key, Cell: *e.Val})
-	}
-	data, err := encodeSnapshot(entries)
-	return data, len(entries), err
-}
-
-// Snapshot write retry policy: transient filesystem errors (a full
-// disk draining, a slow NFS mount) are retried with capped exponential
-// backoff before the save is abandoned until the next interval. Every
-// failed attempt counts in valleyd_snapshot_write_failures_total.
-const (
-	snapshotWriteAttempts = 4
-	snapshotBackoffBase   = 50 * time.Millisecond
-	snapshotBackoffCap    = 2 * time.Second
-)
-
-// saveSimCacheSnapshot writes the current sim cache to the configured
-// path atomically (temp file + rename), so readers and a crash
-// mid-write never observe a half-written snapshot. Failed writes are
-// retried with capped exponential backoff; stop (which may be nil)
-// aborts the backoff wait early so a shutting-down daemon never stalls
-// in a retry sleep.
-func (s *Service) saveSimCacheSnapshot(stop <-chan struct{}) {
-	data, count, err := s.encodeCurrentSnapshot()
-	if err != nil {
-		s.log.Warn("sim-cache snapshot encode failed", "error", err)
-		return
-	}
-	path := s.cfg.SimCacheSnapshot
-	backoff := snapshotBackoffBase
-	for attempt := 1; ; attempt++ {
-		err := s.writeSnapshotFile(path, data)
-		if err == nil {
-			s.metrics.snapshotSaves.Add(1)
-			s.metrics.snapshotEntries.Store(int64(count))
-			s.log.Debug("sim-cache snapshot saved", "path", path, "entries", count)
-			return
-		}
-		s.metrics.snapshotWriteFailures.Add(1)
-		s.log.Warn("sim-cache snapshot write failed", "path", path, "attempt", attempt, "error", err)
-		if attempt >= snapshotWriteAttempts {
-			s.log.Warn("sim-cache snapshot abandoned until next interval", "path", path, "attempts", attempt)
-			return
-		}
-		select {
-		case <-stop:
-			return
-		case <-time.After(backoff):
-		}
-		if backoff *= 2; backoff > snapshotBackoffCap {
-			backoff = snapshotBackoffCap
-		}
-	}
-}
-
-// writeSnapshotFile lands one framed snapshot atomically: temp file in
-// the destination directory, then rename. The fault seams model a
-// failing filesystem (SnapshotWrite) and a torn write that the rename
-// still publishes (SnapshotTorn) — the latter "succeeds" here and is
-// caught by the load path's checksum, never by readers.
-func (s *Service) writeSnapshotFile(path string, data []byte) error {
-	if err := fault.Err(fault.SnapshotWrite); err != nil {
-		return err
-	}
-	out := fault.Torn(fault.SnapshotTorn, data)
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	_, werr := tmp.Write(out)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		return errors.Join(werr, cerr)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
-}
-
-// loadSimCacheSnapshot rehydrates the sim cache from the configured
-// path. Invalid snapshots (missing, truncated, corrupt, wrong version)
-// leave the cache empty — a cold start, never a failed start.
-func (s *Service) loadSimCacheSnapshot() {
+// loadLegacySnapshot rehydrates the sim cache from a legacy VSIMCSH1
+// file. Invalid snapshots (missing, truncated, corrupt, wrong version)
+// leave the cache empty — a cold start, never a failed start. With
+// migrate set (a spill dir is live), the loaded entries are spilled to
+// disk and the legacy file renamed aside so this happens exactly once;
+// without it the file is left untouched for a future migrating boot.
+func (s *Service) loadLegacySnapshot(migrate bool) {
 	path := s.cfg.SimCacheSnapshot
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if !errors.Is(err, os.ErrNotExist) {
-			s.log.Warn("sim-cache snapshot unreadable, starting cold", "path", path, "error", err)
+			s.log.Warn("legacy sim-cache snapshot unreadable, starting cold", "path", path, "error", err)
 		}
 		return
 	}
 	entries, err := decodeSnapshot(data)
 	if err != nil {
-		s.log.Warn("sim-cache snapshot invalid, starting cold", "path", path, "error", err)
+		s.log.Warn("legacy sim-cache snapshot invalid, starting cold", "path", path, "error", err)
 		return
 	}
+	// Adds beyond the memory capacity evict — and with a spill tier,
+	// eviction spills — so every snapshot entry survives migration even
+	// when the cache has shrunk since the snapshot was written.
 	for i := range entries {
 		cell := entries[i].Cell
 		s.simCache.Add(entries[i].Key, &cell)
 	}
-	s.metrics.snapshotLoaded.Store(int64(len(entries)))
-	s.log.Info("sim-cache snapshot loaded", "path", path, "entries", len(entries))
-}
-
-// snapshotLoop persists the sim cache every SimCacheSnapshotInterval
-// until Close.
-func (s *Service) snapshotLoop() {
-	defer s.snapWG.Done()
-	t := time.NewTicker(s.cfg.SimCacheSnapshotInterval)
-	defer t.Stop()
-	for {
-		select {
-		case <-s.snapStop:
-			return
-		case <-t.C:
-			s.saveSimCacheSnapshot(s.snapStop)
-		}
+	if !migrate {
+		s.log.Info("legacy sim-cache snapshot loaded (no spill dir: load-only, file kept)",
+			"path", path, "entries", len(entries))
+		return
 	}
-}
-
-// writeSnapshotTo is a test seam: it renders the live cache in snapshot
-// format without touching the filesystem.
-func (s *Service) writeSnapshotTo(w io.Writer) error {
-	data, _, err := s.encodeCurrentSnapshot()
-	if err != nil {
-		return err
+	s.simCache.SpillAll()
+	if err := os.Rename(path, path+migratedSuffix); err != nil {
+		// Next boot redundantly re-migrates identical content — wasteful
+		// but harmless, so a rename failure is not worth failing over.
+		s.log.Warn("legacy sim-cache snapshot migrated but could not be renamed aside",
+			"path", path, "error", err)
 	}
-	_, err = w.Write(data)
-	return err
+	s.metrics.legacyMigrated.Store(int64(len(entries)))
+	s.log.Info("legacy sim-cache snapshot migrated into spill dir",
+		"path", path, "entries", len(entries), "renamed", path+migratedSuffix)
 }

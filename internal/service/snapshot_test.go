@@ -1,7 +1,6 @@
 package service
 
 import (
-	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -27,38 +26,41 @@ func runSweepToDone(t *testing.T, s *Service, req SimulateRequest) *SimulateResu
 	return final.Result
 }
 
-// TestSnapshotRestartWarm is the acceptance criterion: a valleyd
-// restart followed by the same sweep request reports cached: true for
-// every previously computed cell.
-func TestSnapshotRestartWarm(t *testing.T) {
-	path := snapPath(t)
+// TestSpillRestartWarm is the acceptance criterion: a valleyd restart
+// over a warm spill directory followed by the same sweep request
+// reports cached: true for every previously computed cell — including
+// cells that were evicted from the memory tier, which the old one-file
+// snapshot would have lost.
+func TestSpillRestartWarm(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "spill")
 	req := SimulateRequest{Workloads: []string{"SP", "NW"}, Schemes: []string{"BASE", "PAE"}, Scale: "tiny"}
 
-	s1 := New(Config{Workers: 2, SimCacheSnapshot: path})
+	// Memory capacity 1 forces three of the four cells to be evicted
+	// (and spilled) while the sweep is still running.
+	s1 := New(Config{Workers: 2, SimCacheEntries: 1, SpillDir: dir})
 	cold := runSweepToDone(t, s1, req)
 	for _, c := range cold.Cells {
 		if c.Cached {
 			t.Errorf("cold cell %s/%s reported cached", c.Workload, c.Scheme)
 		}
 	}
-	s1.Close() // writes the snapshot
-	if saves, _ := s1.Metrics().SnapshotCounts(); saves == 0 {
-		t.Fatal("Close wrote no snapshot")
-	}
-	if _, err := os.Stat(path); err != nil {
-		t.Fatalf("snapshot file missing after Close: %v", err)
+	s1.Close() // spills the resident tail and drains the write-behind queue
+	if writes, _, _ := s1.Metrics().SpillCounts(); writes < 4 {
+		t.Fatalf("spilled %d entries across eviction + Close, want >= 4", writes)
 	}
 
-	// "Restart": a brand-new service over the same snapshot path.
-	s2 := New(Config{Workers: 2, SimCacheSnapshot: path})
+	// "Restart": a brand-new service over the same spill directory,
+	// still with memory capacity 1, so at most one cell can possibly be
+	// served from memory — the rest must promote from disk.
+	s2 := New(Config{Workers: 2, SimCacheEntries: 1, SpillDir: dir})
 	defer s2.Close()
-	if _, loaded := s2.Metrics().SnapshotCounts(); loaded != 4 {
-		t.Fatalf("restarted service loaded %d entries, want 4", loaded)
+	if n := s2.simCache.DiskLen(); n < 4 {
+		t.Fatalf("restarted service found %d spill entries, want >= 4", n)
 	}
 	warm := runSweepToDone(t, s2, req)
 	for i, c := range warm.Cells {
 		if !c.Cached {
-			t.Errorf("cell %s/%s not served from the restored cache", c.Workload, c.Scheme)
+			t.Errorf("cell %s/%s not served from the spill tier", c.Workload, c.Scheme)
 		}
 		if c.ResultJSON != cold.Cells[i].ResultJSON {
 			t.Errorf("cell %s/%s metrics drifted across the restart", c.Workload, c.Scheme)
@@ -67,10 +69,93 @@ func TestSnapshotRestartWarm(t *testing.T) {
 	if hits, misses := s2.Metrics().SimCacheCounts(); hits != 4 || misses != 0 {
 		t.Errorf("restarted sweep hits=%d misses=%d, want 4/0", hits, misses)
 	}
+	if _, disk := s2.Metrics().TierHits(); disk == 0 {
+		t.Error("no tier=disk hits recorded — the warm sweep never touched the spill store")
+	}
+}
+
+// TestLegacySnapshotMigration: a VSIMCSH1 file from an older daemon is
+// absorbed into the spill directory exactly once — entries serve as
+// cache hits, the file is renamed aside, and a second boot does not
+// re-migrate.
+func TestLegacySnapshotMigration(t *testing.T) {
+	path := snapPath(t)
+	dir := filepath.Join(t.TempDir(), "spill")
+	key := simCellKey("SP", "tiny", "BASE", "baseline", 1)
+	data, err := encodeSnapshot([]snapshotEntry{
+		{Key: key, Cell: simCell{Res: experiments.ResultJSON{ExecTimePS: 123, IPS: 4.5}, Seconds: 0.25}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s1 := New(Config{Workers: 1, SimCacheSnapshot: path, SpillDir: dir})
+	if !s1.simCache.Contains(key) {
+		t.Fatal("migrated entry not resident")
+	}
+	if got := s1.Metrics().LegacyMigrated(); got != 1 {
+		t.Errorf("LegacyMigrated = %d, want 1", got)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("legacy file still at %s after migration", path)
+	}
+	if _, err := os.Stat(path + migratedSuffix); err != nil {
+		t.Errorf("legacy file not renamed aside: %v", err)
+	}
+	// The migrated cell must serve a sweep as a cache hit with the
+	// persisted metrics, not re-simulate.
+	res := runSweepToDone(t, s1, SimulateRequest{Workloads: []string{"SP"}, Schemes: []string{"BASE"}, Scale: "tiny"})
+	if !res.Cells[0].Cached {
+		t.Error("migrated cell not served from cache")
+	}
+	if res.Cells[0].ExecTimePS != 123 {
+		t.Errorf("migrated cell ExecTimePS = %d, want the snapshot's 123", res.Cells[0].ExecTimePS)
+	}
+	s1.Close()
+
+	// Second boot with the same config: the file is gone (renamed), so
+	// nothing migrates, but the entry survives in the spill dir.
+	s2 := New(Config{Workers: 1, SimCacheSnapshot: path, SpillDir: dir})
+	defer s2.Close()
+	if got := s2.Metrics().LegacyMigrated(); got != 0 {
+		t.Errorf("second boot re-migrated %d entries", got)
+	}
+	if !s2.simCache.Contains(key) {
+		t.Error("entry lost after second boot")
+	}
+}
+
+// TestLegacySnapshotLoadOnlyWithoutSpill: with no spill dir the legacy
+// file hydrates the memory tier but is never renamed or rewritten, so
+// no data is destroyed before the operator opts into the spill tier.
+func TestLegacySnapshotLoadOnlyWithoutSpill(t *testing.T) {
+	path := snapPath(t)
+	key := simCellKey("SP", "tiny", "BASE", "baseline", 1)
+	data, err := encodeSnapshot([]snapshotEntry{{Key: key, Cell: simCell{Seconds: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Workers: 1, SimCacheSnapshot: path})
+	defer s.Close()
+	if !s.simCache.Contains(key) {
+		t.Fatal("legacy entry not loaded")
+	}
+	if got := s.Metrics().LegacyMigrated(); got != 0 {
+		t.Errorf("LegacyMigrated = %d without a spill dir", got)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("legacy file touched by a load-only boot: %v", err)
+	}
 }
 
 // TestSnapshotRoundTripPreservesSecondsAndRecency: the persisted cost
-// weight survives, so eviction stays cost-aware after a restart.
+// weight survives, so eviction stays cost-aware after migration.
 func TestSnapshotRoundTrip(t *testing.T) {
 	entries := []snapshotEntry{
 		{Key: "sim|SP|tiny|BASE|baseline|1", Cell: simCell{Res: experiments.ResultJSON{ExecTimePS: 123, IPS: 4.5}, Seconds: 0.25}},
@@ -95,8 +180,8 @@ func TestSnapshotRoundTrip(t *testing.T) {
 }
 
 // TestSnapshotRejectsDamage: truncated, corrupt, wrong-version and
-// garbage snapshot files all load as a clean empty cache — a cold
-// start, never a crash or partial state.
+// garbage legacy snapshot files all load as a clean empty cache — a
+// cold start, never a crash, partial state or a destructive rename.
 func TestSnapshotRejectsDamage(t *testing.T) {
 	valid, err := encodeSnapshot([]snapshotEntry{
 		{Key: "sim|SP|tiny|BASE|baseline|1", Cell: simCell{Seconds: 1}},
@@ -134,24 +219,22 @@ func TestSnapshotRejectsDamage(t *testing.T) {
 			if entries, err := decodeSnapshot(tc.data); err == nil {
 				t.Fatalf("damaged snapshot accepted with %d entries", len(entries))
 			}
-			// The service-level load must quietly start cold.
+			// The service-level load must quietly start cold and leave
+			// the damaged file in place for inspection.
 			path := snapPath(t)
-			if len(tc.data) > 0 {
-				if err := os.WriteFile(path, tc.data, 0o644); err != nil {
-					t.Fatal(err)
-				}
-			} else {
-				if err := os.WriteFile(path, nil, 0o644); err != nil {
-					t.Fatal(err)
-				}
+			if err := os.WriteFile(path, tc.data, 0o644); err != nil {
+				t.Fatal(err)
 			}
-			s := New(Config{Workers: 1, SimCacheSnapshot: path})
+			s := New(Config{Workers: 1, SimCacheSnapshot: path, SpillDir: filepath.Join(t.TempDir(), "spill")})
 			defer s.Close()
-			if n := s.simCache.Len(); n != 0 {
+			if n := s.simCache.MemLen(); n != 0 {
 				t.Errorf("cache has %d entries after loading damaged snapshot, want 0", n)
 			}
-			if _, loaded := s.Metrics().SnapshotCounts(); loaded != 0 {
-				t.Errorf("metrics report %d loaded entries", loaded)
+			if got := s.Metrics().LegacyMigrated(); got != 0 {
+				t.Errorf("metrics report %d migrated entries", got)
+			}
+			if _, err := os.Stat(path); err != nil {
+				t.Errorf("damaged legacy file was moved or deleted: %v", err)
 			}
 		})
 	}
@@ -162,33 +245,7 @@ func TestSnapshotRejectsDamage(t *testing.T) {
 func TestSnapshotMissingFileStartsCold(t *testing.T) {
 	s := New(Config{Workers: 1, SimCacheSnapshot: filepath.Join(t.TempDir(), "nope.snap")})
 	defer s.Close()
-	if n := s.simCache.Len(); n != 0 {
+	if n := s.simCache.MemLen(); n != 0 {
 		t.Fatalf("cache has %d entries, want 0", n)
-	}
-}
-
-// TestSnapshotWriterRendersCurrentCache: writeSnapshotTo emits a valid
-// snapshot of the live cache.
-func TestSnapshotWriterRendersCurrentCache(t *testing.T) {
-	s := New(Config{Workers: 2})
-	defer s.Close()
-	runSweepToDone(t, s, SimulateRequest{Workloads: []string{"SP"}, Schemes: []string{"BASE"}, Scale: "tiny"})
-
-	var buf bytes.Buffer
-	if err := s.writeSnapshotTo(&buf); err != nil {
-		t.Fatal(err)
-	}
-	entries, err := decodeSnapshot(buf.Bytes())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(entries) != 1 {
-		t.Fatalf("snapshot has %d entries, want 1", len(entries))
-	}
-	if entries[0].Key != simCellKey("SP", "tiny", "BASE", "baseline", 1) {
-		t.Errorf("snapshot key %q", entries[0].Key)
-	}
-	if entries[0].Cell.Seconds <= 0 {
-		t.Error("persisted cell lost its cost weight")
 	}
 }

@@ -133,27 +133,27 @@ func streamClient(ts *httptest.Server, jobID string, disconnect bool) error {
 }
 
 // TestStressRestartMidSweep: a service shut down while a sweep is
-// running drains cleanly (Close waits for in-flight cells), persists
-// what it computed, and a restarted service over the same snapshot
+// running drains cleanly (Close waits for in-flight cells), spills
+// what it computed, and a restarted service over the same spill dir
 // serves the repeat sweep entirely from cache while its own streaming
 // clients see a well-formed event stream.
 func TestStressRestartMidSweep(t *testing.T) {
 	baseline := runtime.NumGoroutine()
-	path := filepath.Join(t.TempDir(), "simcache.snap")
+	dir := filepath.Join(t.TempDir(), "spill")
 	req := SimulateRequest{
 		Workloads: []string{"MT", "LU", "SP"},
 		Schemes:   []string{"BASE", "PAE"},
 		Scale:     "tiny",
 	}
 
-	s1 := New(Config{Workers: 2, SimCacheSnapshot: path})
+	s1 := New(Config{Workers: 2, SpillDir: dir})
 	job, err := s1.Simulate(req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Subscribe a client, observe at least one cell land, then
-	// "restart" the daemon under it: Close drains the sweep, saves the
-	// snapshot, and terminates the stream cleanly for the subscriber.
+	// "restart" the daemon under it: Close drains the sweep, spills the
+	// cache, and terminates the stream cleanly for the subscriber.
 	sub, ok := s1.JobEvents(job.ID, 0)
 	if !ok {
 		t.Fatal("subscribe failed")
@@ -182,7 +182,7 @@ func TestStressRestartMidSweep(t *testing.T) {
 
 	// Restart: the same sweep must be all cache hits, delivered over a
 	// fresh streaming connection with the full event contract intact.
-	s2 := New(Config{Workers: 2, SimCacheSnapshot: path})
+	s2 := New(Config{Workers: 2, SpillDir: dir})
 	ts := httptest.NewServer(s2.Handler())
 	resp := postJSON(t, ts.URL+"/v1/simulate?stream=1", req)
 	if resp.StatusCode != http.StatusOK {

@@ -41,5 +41,12 @@ func mapFile(path string) ([]byte, func() error, error) {
 	if err != nil {
 		return readFileFallback(path)
 	}
+	// Trace parsing is one front-to-back pass over the mapping, so tell
+	// the kernel to read ahead aggressively (SEQUENTIAL) and start
+	// faulting pages in now (WILLNEED) instead of one page-fault stall
+	// at a time. Purely advisory: a kernel that refuses changes nothing
+	// about correctness, so the errors are deliberately ignored.
+	_ = syscall.Madvise(data, syscall.MADV_SEQUENTIAL)
+	_ = syscall.Madvise(data, syscall.MADV_WILLNEED)
 	return data, func() error { return syscall.Munmap(data) }, nil
 }
