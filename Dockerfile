@@ -1,0 +1,20 @@
+# Two-stage build: compile a static valleyd in the Go image, ship only
+# the binary on a minimal runtime. The same image serves every cluster
+# role — the role is picked at run time with -mode (see
+# docker-compose.yml for a 1-coordinator + 2-worker arrangement).
+FROM golang:1.22-alpine AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags="-s -w" -o /out/valleyd ./cmd/valleyd
+
+FROM alpine:3.19
+RUN adduser -D -u 10001 valley && mkdir -p /spill && chown valley:valley /spill
+COPY --from=build /out/valleyd /usr/local/bin/valleyd
+USER valley
+# /spill is the simulation-cache spill tier: mount a volume here and
+# pass -spill-dir /spill so a restarted worker keeps its warm cells.
+VOLUME /spill
+EXPOSE 8080
+ENTRYPOINT ["valleyd"]
+CMD ["-addr", ":8080"]

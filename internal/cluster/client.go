@@ -1,0 +1,314 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"valleymap/internal/fault"
+)
+
+// Cell names one sweep cell in transport form: the workload × scheme
+// coordinates. Scale, config and seed ride on the enclosing Batch —
+// a batch never mixes them.
+type Cell struct {
+	Workload string `json:"workload"`
+	Scheme   string `json:"scheme"`
+}
+
+// Batch is one coordinator→worker dispatch: cells sharing a scale,
+// config and seed, executed on the worker's own pool and streamed back
+// as Updates in completion order.
+type Batch struct {
+	Cells  []Cell `json:"cells"`
+	Scale  string `json:"scale,omitempty"`
+	Config string `json:"config,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+}
+
+// Update is one NDJSON line of a worker's response stream. Type "cell"
+// carries a finished cell and its opaque result payload; "done" and
+// "failed" are terminal. Unknown types are skipped by the client for
+// forward compatibility.
+type Update struct {
+	Type    string          `json:"type"`
+	Cell    *Cell           `json:"cell,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// Update stream record types.
+const (
+	UpdateCell   = "cell"
+	UpdateDone   = "done"
+	UpdateFailed = "failed"
+)
+
+// Sentinel stream failures. Both mark the peer down; the caller retries
+// only the cells its onCell callback never saw.
+var (
+	// ErrStalled: no update arrived within the stall timeout.
+	ErrStalled = errors.New("peer stalled mid-batch")
+	// ErrTorn: the stream ended before its terminal update.
+	ErrTorn = errors.New("peer stream ended before its terminal update")
+)
+
+// Options configures a Client.
+type Options struct {
+	// Peers are the worker base URLs (e.g. http://worker1:8080), in a
+	// fixed order shared by rankings' tiebreaks.
+	Peers []string
+	// HTTPClient overrides the transport (nil = a dedicated
+	// http.Client). It must not set a global Timeout: a batch response
+	// streams for the whole batch runtime, bounded instead by the
+	// request context and the stall watchdog.
+	HTTPClient *http.Client
+	// StallTimeout bounds silence mid-batch: a batch whose next update
+	// does not arrive in time is aborted with ErrStalled and its
+	// outstanding cells are stolen (0 = 60s).
+	StallTimeout time.Duration
+	// DownCooldown is how long a failed peer is excluded from Healthy
+	// before being lazily retried (0 = 5s).
+	DownCooldown time.Duration
+	// Logger receives peer-health transitions (nil = slog.Default()).
+	Logger *slog.Logger
+}
+
+// Client executes cell batches on peer valleyd workers. It keeps no
+// background goroutines: health is a lazily-expiring cooldown table,
+// and every network interaction happens inside ExecuteCells under the
+// caller's context.
+type Client struct {
+	peers    []string
+	hc       *http.Client
+	stall    time.Duration
+	cooldown time.Duration
+	log      *slog.Logger
+
+	mu        sync.Mutex
+	downUntil map[string]time.Time
+}
+
+// New builds a Client over the given peer set.
+func New(o Options) *Client {
+	hc := o.HTTPClient
+	if hc == nil {
+		// A dedicated transport, not http.DefaultTransport: the default's
+		// shared pool would hand this client stale keep-alive connections
+		// opened by unrelated code (or a previous coordinator) to the
+		// same worker addresses.
+		if tr, ok := http.DefaultTransport.(*http.Transport); ok {
+			hc = &http.Client{Transport: tr.Clone()}
+		} else {
+			hc = &http.Client{}
+		}
+	}
+	if o.StallTimeout <= 0 {
+		o.StallTimeout = 60 * time.Second
+	}
+	if o.DownCooldown <= 0 {
+		o.DownCooldown = 5 * time.Second
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	return &Client{
+		peers:     append([]string(nil), o.Peers...),
+		hc:        hc,
+		stall:     o.StallTimeout,
+		cooldown:  o.DownCooldown,
+		log:       o.Logger,
+		downUntil: map[string]time.Time{},
+	}
+}
+
+// Peers returns the configured peer set, in configuration order.
+func (c *Client) Peers() []string { return append([]string(nil), c.peers...) }
+
+// Healthy returns the peers not currently in a down cooldown, in
+// configuration order (the order seeds Rank's tiebreaks, so it must be
+// identical on every call).
+func (c *Client) Healthy() []string {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	up := make([]string, 0, len(c.peers))
+	for _, p := range c.peers {
+		if until, down := c.downUntil[p]; !down || now.After(until) {
+			up = append(up, p)
+		}
+	}
+	return up
+}
+
+// PeerStates reports each configured peer's current health (true = not
+// in a down cooldown). The metrics layer renders it as
+// valleyd_cluster_peer_up.
+func (c *Client) PeerStates() map[string]bool {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	states := make(map[string]bool, len(c.peers))
+	for _, p := range c.peers {
+		until, down := c.downUntil[p]
+		states[p] = !down || now.After(until)
+	}
+	return states
+}
+
+// MarkDown starts peer's down cooldown: it is excluded from Healthy
+// until the cooldown lapses, then lazily retried.
+func (c *Client) MarkDown(peer string) {
+	c.mu.Lock()
+	_, wasDown := c.downUntil[peer]
+	c.downUntil[peer] = time.Now().Add(c.cooldown)
+	c.mu.Unlock()
+	if !wasDown {
+		c.log.Warn("cluster peer marked down", "peer", peer, "cooldown", c.cooldown)
+	}
+}
+
+// markUp clears peer's cooldown after a successful terminal update.
+func (c *Client) markUp(peer string) {
+	c.mu.Lock()
+	_, wasDown := c.downUntil[peer]
+	delete(c.downUntil, peer)
+	c.mu.Unlock()
+	if wasDown {
+		c.log.Info("cluster peer back up", "peer", peer)
+	}
+}
+
+// ExecuteCells POSTs the batch to peer's /v1/cells endpoint and invokes
+// onCell for every finished cell as its update arrives (onCell runs on
+// this goroutine, in stream order). It returns nil only after the
+// worker's terminal "done" update; any other outcome is an error, and
+// transport-level failures, torn streams and stalls additionally mark
+// the peer down. The caller must treat cells onCell never delivered as
+// not executed — they are safe to retry elsewhere, and delivered cells
+// must not be (ExecuteCells never re-delivers a cell).
+//
+// The request propagates traceID as X-Trace-Id and the context's
+// remaining deadline as X-Deadline-Ms, so the worker's logs correlate
+// with the coordinator's and its cells observe the same budget.
+func (c *Client) ExecuteCells(ctx context.Context, peer, traceID string, b Batch, onCell func(Cell, json.RawMessage)) error {
+	// Chaos seams: an injected dead peer fails the batch before any
+	// bytes move; an injected slow peer delays it (long enough delays
+	// trip the caller-visible stall machinery end to end).
+	if fault.Fail(fault.PeerDown) {
+		c.MarkDown(peer)
+		return fmt.Errorf("peer %s: injected peer-down", peer)
+	}
+	fault.Sleep(fault.PeerSlow)
+
+	body, err := json.Marshal(b)
+	if err != nil {
+		return fmt.Errorf("encoding batch for %s: %w", peer, err)
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, peer+"/v1/cells", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("building batch request for %s: %w", peer, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	// Mark the POST replayable so the transport transparently retries a
+	// stale keep-alive connection (a worker that restarted under us) on
+	// a fresh one. The retry only fires when no response bytes arrived,
+	// so it can never double-deliver a cell — and batch execution is
+	// idempotent regardless: cells are deterministic and cache-coalesced.
+	req.Header.Set("Idempotency-Key", traceID+"-cells")
+	if traceID != "" {
+		req.Header.Set("X-Trace-Id", traceID)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.Header.Set("X-Deadline-Ms", strconv.FormatInt(ms, 10))
+	}
+
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			// A transport failure with the parent context alive is the
+			// peer's fault, not the sweep's.
+			c.MarkDown(peer)
+		}
+		return fmt.Errorf("peer %s: %w", peer, err)
+	}
+	defer resp.Body.Close() //nolint:errcheck // read-only body
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		c.MarkDown(peer)
+		return fmt.Errorf("peer %s: /v1/cells returned %d: %s", peer, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+
+	// The stall watchdog aborts the read when the peer goes silent
+	// mid-batch; each delivered update re-arms it. stalled distinguishes
+	// the watchdog's cancel from the parent context's.
+	var stalled atomic.Bool
+	watchdog := time.AfterFunc(c.stall, func() {
+		stalled.Store(true)
+		cancel()
+	})
+	defer watchdog.Stop()
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	for sc.Scan() {
+		watchdog.Reset(c.stall)
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var u Update
+		if err := json.Unmarshal(line, &u); err != nil {
+			c.MarkDown(peer)
+			return fmt.Errorf("peer %s: undecodable update: %w", peer, err)
+		}
+		switch u.Type {
+		case UpdateCell:
+			if u.Cell != nil {
+				onCell(*u.Cell, u.Payload)
+			}
+			if fault.Fail(fault.PeerTorn) {
+				c.MarkDown(peer)
+				return fmt.Errorf("peer %s: injected torn stream: %w", peer, ErrTorn)
+			}
+		case UpdateDone:
+			c.markUp(peer)
+			return nil
+		case UpdateFailed:
+			// The worker is alive and answered; its execution failed.
+			// Leave it healthy — the error may be batch-specific — and
+			// let the caller decide where outstanding cells go next.
+			return fmt.Errorf("peer %s: batch failed: %s", peer, u.Error)
+		}
+	}
+	// The stream ended without a terminal update: classify why.
+	switch {
+	case stalled.Load():
+		c.MarkDown(peer)
+		return fmt.Errorf("peer %s: no update within %s: %w", peer, c.stall, ErrStalled)
+	case ctx.Err() != nil:
+		return ctx.Err()
+	default:
+		c.MarkDown(peer)
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("peer %s: %w (%v)", peer, ErrTorn, err)
+		}
+		return fmt.Errorf("peer %s: %w", peer, ErrTorn)
+	}
+}

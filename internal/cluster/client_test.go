@@ -1,0 +1,237 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"valleymap/internal/testutil"
+)
+
+// fakeWorker speaks the /v1/cells NDJSON protocol with a scriptable
+// per-cell payload, recording the headers the coordinator sent.
+type fakeWorker struct {
+	gotTrace    string
+	gotDeadline string
+	// respond overrides the default happy-path stream when set.
+	respond func(w http.ResponseWriter, b Batch)
+}
+
+func (f *fakeWorker) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/cells" {
+			http.NotFound(w, r)
+			return
+		}
+		f.gotTrace = r.Header.Get("X-Trace-Id")
+		f.gotDeadline = r.Header.Get("X-Deadline-Ms")
+		var b Batch
+		if err := json.NewDecoder(r.Body).Decode(&b); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if f.respond != nil {
+			f.respond(w, b)
+			return
+		}
+		enc := json.NewEncoder(w)
+		for i := range b.Cells {
+			payload, _ := json.Marshal(map[string]any{"seconds": float64(i)})
+			enc.Encode(Update{Type: UpdateCell, Cell: &b.Cells[i], Payload: payload}) //nolint:errcheck
+		}
+		enc.Encode(Update{Type: UpdateDone}) //nolint:errcheck
+	})
+}
+
+func testBatch() Batch {
+	return Batch{
+		Cells:  []Cell{{Workload: "MT", Scheme: "BASE"}, {Workload: "MT", Scheme: "PAE"}},
+		Scale:  "tiny",
+		Config: "baseline",
+		Seed:   1,
+	}
+}
+
+func TestExecuteCellsDeliversAllAndPropagatesHeaders(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	fw := &fakeWorker{}
+	ts := httptest.NewServer(fw.handler())
+	defer ts.Close()
+	c := New(Options{Peers: []string{ts.URL}})
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(30*time.Second))
+	defer cancel()
+	var got []Cell
+	err := c.ExecuteCells(ctx, ts.URL, "trace-123", testBatch(), func(cell Cell, _ json.RawMessage) {
+		got = append(got, cell)
+	})
+	if err != nil {
+		t.Fatalf("ExecuteCells: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("delivered %d cells, want 2: %v", len(got), got)
+	}
+	if fw.gotTrace != "trace-123" {
+		t.Errorf("X-Trace-Id = %q, want trace-123", fw.gotTrace)
+	}
+	ms, err := strconv.ParseInt(fw.gotDeadline, 10, 64)
+	if err != nil || ms <= 0 || ms > 30_000 {
+		t.Errorf("X-Deadline-Ms = %q, want the remaining budget in (0, 30000]", fw.gotDeadline)
+	}
+	if states := c.PeerStates(); !states[ts.URL] {
+		t.Errorf("peer marked down after a clean batch: %v", states)
+	}
+}
+
+// TestExecuteCellsTornStream: the worker dies after one cell. The
+// delivered cell must be reported exactly once, the error must be
+// ErrTorn, and the peer must enter its down cooldown (then recover
+// after it lapses).
+func TestExecuteCellsTornStream(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	fw := &fakeWorker{}
+	fw.respond = func(w http.ResponseWriter, b Batch) {
+		enc := json.NewEncoder(w)
+		payload, _ := json.Marshal(map[string]any{"seconds": 0.1})
+		enc.Encode(Update{Type: UpdateCell, Cell: &b.Cells[0], Payload: payload}) //nolint:errcheck
+		// No terminal update: the handler just returns, closing the body.
+	}
+	ts := httptest.NewServer(fw.handler())
+	defer ts.Close()
+	c := New(Options{Peers: []string{ts.URL}, DownCooldown: 50 * time.Millisecond})
+
+	var got []Cell
+	err := c.ExecuteCells(context.Background(), ts.URL, "", testBatch(), func(cell Cell, _ json.RawMessage) {
+		got = append(got, cell)
+	})
+	if !errors.Is(err, ErrTorn) {
+		t.Fatalf("error = %v, want ErrTorn", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("delivered %d cells before the tear, want 1", len(got))
+	}
+	if len(c.Healthy()) != 0 {
+		t.Errorf("torn peer still healthy: %v", c.Healthy())
+	}
+	time.Sleep(80 * time.Millisecond)
+	if len(c.Healthy()) != 1 {
+		t.Errorf("peer not lazily retried after its cooldown: %v", c.Healthy())
+	}
+}
+
+// TestExecuteCellsStall: the worker wedges mid-batch. The watchdog must
+// abort the read with ErrStalled within the stall timeout instead of
+// hanging the sweep.
+func TestExecuteCellsStall(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	release := make(chan struct{})
+	fw := &fakeWorker{}
+	fw.respond = func(w http.ResponseWriter, b Batch) {
+		enc := json.NewEncoder(w)
+		payload, _ := json.Marshal(map[string]any{"seconds": 0.1})
+		enc.Encode(Update{Type: UpdateCell, Cell: &b.Cells[0], Payload: payload}) //nolint:errcheck
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		<-release // wedge: no more updates, no terminal
+	}
+	ts := httptest.NewServer(fw.handler())
+	defer ts.Close()
+	// Unwedge the handler before ts.Close waits on it (defers are LIFO).
+	defer close(release)
+	c := New(Options{Peers: []string{ts.URL}, StallTimeout: 100 * time.Millisecond})
+
+	start := time.Now()
+	err := c.ExecuteCells(context.Background(), ts.URL, "", testBatch(), func(Cell, json.RawMessage) {})
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("error = %v, want ErrStalled", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("stall detection took %s, want ~the 100ms stall timeout", d)
+	}
+	if len(c.Healthy()) != 0 {
+		t.Errorf("stalled peer still healthy: %v", c.Healthy())
+	}
+}
+
+// TestExecuteCellsWorkerFailed: an explicit failed terminal is the
+// worker answering coherently — it must surface as an error without
+// marking the peer down.
+func TestExecuteCellsWorkerFailed(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	fw := &fakeWorker{}
+	fw.respond = func(w http.ResponseWriter, b Batch) {
+		json.NewEncoder(w).Encode(Update{Type: UpdateFailed, Error: "engine exploded"}) //nolint:errcheck
+	}
+	ts := httptest.NewServer(fw.handler())
+	defer ts.Close()
+	c := New(Options{Peers: []string{ts.URL}})
+
+	err := c.ExecuteCells(context.Background(), ts.URL, "", testBatch(), func(Cell, json.RawMessage) {})
+	if err == nil {
+		t.Fatal("want an error from a failed terminal")
+	}
+	if got := err.Error(); !strings.Contains(got, "engine exploded") {
+		t.Errorf("error %q does not carry the worker's reason", got)
+	}
+	if len(c.Healthy()) != 1 {
+		t.Errorf("peer marked down for an application-level failure: %v", c.Healthy())
+	}
+}
+
+// TestExecuteCellsConnectionRefused: a dead peer fails fast at the
+// transport and enters its cooldown.
+func TestExecuteCellsConnectionRefused(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close() // the port is now dead
+	c := New(Options{Peers: []string{url}})
+
+	err := c.ExecuteCells(context.Background(), url, "", testBatch(), func(Cell, json.RawMessage) {})
+	if err == nil {
+		t.Fatal("want a transport error from a dead peer")
+	}
+	if len(c.Healthy()) != 0 {
+		t.Errorf("dead peer still healthy: %v", c.Healthy())
+	}
+}
+
+// TestExecuteCellsParentCancel: the sweep's own cancellation must not
+// blame the peer.
+func TestExecuteCellsParentCancel(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	release := make(chan struct{})
+	fw := &fakeWorker{}
+	fw.respond = func(w http.ResponseWriter, b Batch) {
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		<-release
+	}
+	ts := httptest.NewServer(fw.handler())
+	defer ts.Close()
+	// Unwedge the handler before ts.Close waits on it (defers are LIFO).
+	defer close(release)
+	c := New(Options{Peers: []string{ts.URL}})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	err := c.ExecuteCells(ctx, ts.URL, "", testBatch(), func(Cell, json.RawMessage) {})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if len(c.Healthy()) != 1 {
+		t.Errorf("peer marked down for the caller's own cancel: %v", c.Healthy())
+	}
+}

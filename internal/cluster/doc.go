@@ -1,0 +1,68 @@
+// Package cluster is the peer-to-peer transport behind valleyd's
+// coordinator/worker mode: a coordinator assigns simulation sweep cells
+// to worker nodes by rendezvous hashing over the cells' sim-cache keys
+// and streams per-cell results back over NDJSON, so repeat cells land
+// on the worker whose cache (memory or spill tier) is already warm.
+//
+// The package deliberately knows nothing about internal/service: it
+// moves opaque cells (workload × scheme coordinates plus a raw JSON
+// payload) between nodes, and the service layer on each side owns
+// resolving, executing and merging them. That keeps the dependency
+// arrow service → cluster and the wire types free of engine details.
+//
+// # Ownership: rendezvous hashing
+//
+// Rank orders peers by highest-random-weight (rendezvous) score for a
+// key: every node computes the same ranking independently, with no
+// coordination state, and removing one peer only moves that peer's
+// keys (the remaining ranking is undisturbed — the property that makes
+// cache affinity survive membership churn). The coordinator hashes
+// each cell's sim-cache key — the exact string the worker's two-tier
+// cache is keyed by — so a cell re-dispatched tomorrow lands on the
+// same worker that cached it today, and a full-cluster restart with
+// warm spill directories serves the whole sweep from disk.
+//
+// # Batch protocol
+//
+// The coordinator POSTs a Batch (cells sharing one scale/config/seed)
+// to a worker's /v1/cells endpoint and reads Updates back as NDJSON,
+// one per line, flushed as produced:
+//
+//	{"type":"cell","cell":{...},"payload":{...}}   one finished cell
+//	{"type":"done"}                                terminal success
+//	{"type":"failed","error":"..."}                terminal failure
+//
+// Updates arrive in completion order, not batch order. A stream that
+// ends without a terminal update is torn — the peer died or the
+// connection broke — and only the undelivered cells are retried: the
+// coordinator tracks outstanding cells per batch, so a torn stream
+// never loses or duplicates a delivered cell.
+//
+// # Health, stalls and steals
+//
+// The client keeps a cooldown table instead of a background prober: a
+// peer whose batch fails at the transport level (or whose stream tears
+// or stalls) is marked down for Options.DownCooldown and excluded from
+// Healthy rankings until the cooldown lapses, when it is lazily retried
+// by the next batch routed to it. A per-batch watchdog bounds silence:
+// if no update arrives for Options.StallTimeout the request is aborted
+// and ErrStalled returned, so a wedged worker costs one timeout, not a
+// hung sweep — the coordinator then re-dispatches ("steals") the
+// batch's outstanding cells to the next-ranked healthy peer, and falls
+// back to local execution when no peer remains.
+//
+// # Propagation
+//
+// Every hop carries the coordinator's observability and deadline
+// context: X-Trace-Id propagates the sweep's trace id into the
+// worker's request-scoped logs and metrics, and X-Deadline-Ms re-arms
+// the remaining deadline budget on the worker so a deadline-bound
+// sweep's cells are canceled remotely just as they would be locally.
+//
+// # Fault seams
+//
+// Chaos builds (-tags faultinject) arm three injection points in the
+// client: fault.PeerDown fails a batch before the request is sent,
+// fault.PeerSlow stalls it, and fault.PeerTorn abandons the stream
+// after a delivered update. See internal/fault for the seam contract.
+package cluster

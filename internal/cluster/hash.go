@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// score is the rendezvous weight of (key, peer): FNV-1a over the peer
+// name, a separator and the key, pushed through a 64-bit finalizer.
+// Raw FNV avalanches poorly when keys differ only in a short suffix
+// (exactly the shape of sim-cache keys, which share a long grid prefix
+// and vary in the trailing coordinates), skewing ownership badly; the
+// xor-shift/multiply finalizer restores the mixing. Any stable 64-bit
+// mix works; FNV keeps it stdlib-only.
+func score(key, peer string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(peer)) //nolint:errcheck // fnv never fails
+	h.Write([]byte{0})    //nolint:errcheck
+	h.Write([]byte(key))  //nolint:errcheck
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Rank returns peers ordered by descending rendezvous score for key:
+// Rank(k, p)[0] is k's owner, and each following entry is the next
+// steal target. The ranking is deterministic across processes (pure
+// function of the strings) and stable under membership change —
+// removing a peer deletes its entry and moves nothing else.
+func Rank(key string, peers []string) []string {
+	ranked := append([]string(nil), peers...)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		return score(key, ranked[i]) > score(key, ranked[j])
+	})
+	return ranked
+}
+
+// Owner returns the top-ranked peer for key, or "" with no peers.
+func Owner(key string, peers []string) string {
+	if len(peers) == 0 {
+		return ""
+	}
+	best, bestScore := peers[0], score(key, peers[0])
+	for _, p := range peers[1:] {
+		if s := score(key, p); s > bestScore {
+			best, bestScore = p, s
+		}
+	}
+	return best
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRankDeterministic(t *testing.T) {
+	peers := []string{"http://w1:8080", "http://w2:8080", "http://w3:8080"}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("sim|MT|tiny|PAE|baseline|%d", i)
+		a := Rank(key, peers)
+		b := Rank(key, peers)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("Rank(%q) unstable: %v vs %v", key, a, b)
+		}
+		if len(a) != len(peers) {
+			t.Fatalf("Rank(%q) = %v, want a permutation of %v", key, a, peers)
+		}
+		if got, want := Owner(key, peers), a[0]; got != want {
+			t.Fatalf("Owner(%q) = %q, want Rank[0] = %q", key, got, want)
+		}
+	}
+}
+
+// TestRankStableUnderRemoval is the rendezvous property the affinity
+// design rests on: deleting one peer must only move the keys that peer
+// owned — every other key keeps its owner.
+func TestRankStableUnderRemoval(t *testing.T) {
+	peers := []string{"http://w1:8080", "http://w2:8080", "http://w3:8080", "http://w4:8080"}
+	removed := peers[2]
+	survivors := append(append([]string(nil), peers[:2]...), peers[3])
+	moved := 0
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("sim|LU|small|RMP|conv-24|%d", i)
+		before := Owner(key, peers)
+		after := Owner(key, survivors)
+		if before == removed {
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %q moved %s -> %s though %s was removed", key, before, after, removed)
+		}
+	}
+	if moved == 0 {
+		t.Error("removed peer owned no keys out of 200 — the distribution test is vacuous")
+	}
+}
+
+// TestRankSpreads sanity-checks the distribution: over many keys, every
+// peer owns a non-trivial share (a broken hash that pins everything to
+// one peer would defeat the whole sharding scheme).
+func TestRankSpreads(t *testing.T) {
+	peers := []string{"http://w1:8080", "http://w2:8080", "http://w3:8080"}
+	owned := map[string]int{}
+	const n = 600
+	for i := 0; i < n; i++ {
+		owned[Owner(fmt.Sprintf("sim|SC|full|ALL|3d|%d", i), peers)]++
+	}
+	for _, p := range peers {
+		if owned[p] < n/10 {
+			t.Errorf("peer %s owns %d of %d keys — distribution badly skewed: %v", p, owned[p], n, owned)
+		}
+	}
+}
+
+func TestOwnerEmptyPeers(t *testing.T) {
+	if got := Owner("k", nil); got != "" {
+		t.Fatalf("Owner with no peers = %q, want empty", got)
+	}
+	if got := Rank("k", nil); len(got) != 0 {
+		t.Fatalf("Rank with no peers = %v, want empty", got)
+	}
+}

@@ -95,6 +95,40 @@ func TestAdmissionShedsInfeasibleSweep(t *testing.T) {
 	}
 }
 
+// TestColdBootAdmitsDeadlineSweep pins boot-time admission: a freshly
+// started daemon has an empty cost model, and "no history" must read
+// as "feasibility unknown — admit", never as a shed. A cold EWMA that
+// sheds (or stamps a Retry-After onto an accepted response) would turn
+// every post-restart deadline-bearing sweep into a spurious 429.
+func TestColdBootAdmitsDeadlineSweep(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	svc := New(Config{Workers: 2})
+	base := newServerFor(t, svc)
+
+	resp := postJSON(t, base+"/v1/simulate?deadline_ms=60000", SimulateRequest{
+		Workloads: []string{"SP"}, Schemes: []string{"BASE"}, Scale: "tiny",
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		resp.Body.Close()
+		t.Fatalf("cold-boot deadline sweep: status = %d, want 202", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		t.Errorf("accepted sweep carries Retry-After %q, want none", ra)
+	}
+	var job struct {
+		ID string `json:"id"`
+	}
+	decodeBody(t, resp, &job)
+	if got := svc.Metrics().JobsShed(); got != 0 {
+		t.Errorf("JobsShed = %d after a cold-boot admit, want 0", got)
+	}
+	// The admitted sweep also finishes inside its budget, so the cold
+	// path is admit-and-run, not admit-and-strand.
+	if j := waitJob(t, svc, job.ID); j.Status != JobDone {
+		t.Fatalf("cold-boot sweep ended %s: %s", j.Status, j.Error)
+	}
+}
+
 // TestOverload503CarriesRetryAfter: capacity rejections (job cap full)
 // surface as 503 with a Retry-After header so clients back off instead
 // of tight-looping.

@@ -10,6 +10,49 @@
 // net/http JSON API over all of it (http.go), with Prometheus-style
 // plain-text metrics (metrics.go).
 //
+// # Cell-execution core vs dispatch
+//
+// Sweep execution is split into a transport-agnostic core and
+// swappable dispatch layers. The core (dispatch.go) knows how to run
+// exactly one cell: resolveCell turns a CellSpec (workload, scheme,
+// scale, config, seed — the wire-friendly coordinates) into a bound
+// cellExec, and executeCell runs it through the two-tier cache,
+// the tracing spans and the panic fences, returning a CellResult. It
+// neither knows nor cares who asked. Above it sit two dispatchers
+// that only decide where each cell runs: dispatchLocal (dispatch.go)
+// fans cells out over the in-process worker pool (and runs them
+// inline in degraded mode), while dispatchCluster
+// (cluster_dispatch.go) shards them across peer valleyd workers by
+// rendezvous hashing over the cells' sim-cache keys, stealing from
+// slow or dead peers and falling back to the local pool for anything
+// the cluster cannot place. Both deliver finished cells through the
+// same callback into the job's dense-seq event log, so every
+// downstream contract — event ordering, aggregation, admission
+// accounting — is dispatcher-blind. The worker-facing half of the
+// wire protocol lives in cluster_http.go: POST /v1/cells accepts a
+// batch of CellSpecs and streams one NDJSON update per finished cell,
+// executed on the worker's own pool via the same core.
+//
+// # Cluster mode
+//
+// A coordinator (Config.Cluster set, built by valleyd
+// -mode=coordinator -peers=...) routes each cell to the peer that
+// rendezvous-hashing ranks highest for the cell's sim-cache key.
+// The key is content-addressed, so a repeated cell always ranks the
+// same peer first and lands on a warm cache — including across full
+// cluster restarts when workers keep their -spill-dir tiers. The
+// coordinator never caches remote results; repeat sweeps reporting
+// "cached": true prove the owning worker served them. Peers that
+// fail, stall past the batch watchdog, or tear their stream are
+// marked down for a cooldown, their undelivered cells re-ranked onto
+// the next peer (valleyd_cluster_steals_total) or the local pool
+// (valleyd_cluster_local_cells_total); with no reachable peer at all
+// the sweep degrades to plain local execution. Dispatch volume per
+// peer is valleyd_cluster_cells_dispatched_total{peer} and live peer
+// health valleyd_cluster_peer_up{peer}. X-Trace-Id and X-Deadline-Ms
+// propagate on every hop, so worker logs correlate with the
+// coordinator's and remote cells observe the sweep's budget.
+//
 // # Streaming sweeps
 //
 // A simulation sweep is asynchronous: POST /v1/simulate returns 202
@@ -98,7 +141,8 @@
 //
 // The failure paths above are exercised by a chaos suite driven
 // through internal/fault: build-tagged injection points at the spill
-// tier's writes and reads, the mmap opener and the sweep cells. In normal
+// tier's writes and reads, the mmap opener, the sweep cells and the
+// coordinator→worker batch path (dead, slow and torn peers). In normal
 // builds every hook is a compiled-out no-op; see internal/fault's
 // package documentation for the seam contract and chaos_test.go for
 // the suite.

@@ -175,6 +175,53 @@ func TestJobEventsEndpoint(t *testing.T) {
 	bad.Body.Close()
 }
 
+// TestJobEventsFromPastTerminal pins the over-the-wire contract for a
+// resume cursor beyond a completed job's terminal event: the stream
+// must end immediately with an empty 200 body — no events, no error,
+// no blocking on a log that will never grow.
+func TestJobEventsFromPastTerminal(t *testing.T) {
+	svc, ts := newTestServer(t)
+
+	job, err := svc.Simulate(SimulateRequest{Workloads: []string{"SP"}, Schemes: []string{"BASE"}, Scale: "tiny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j := waitJob(t, svc, job.ID); j.Status != JobDone {
+		t.Fatalf("sweep ended %s: %s", j.Status, j.Error)
+	}
+
+	// Establish the log length (start + cell + done) from a full replay.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := collectEvents(t, resp.Body)
+	resp.Body.Close()
+	checkTranscript(t, evs, 0, 1)
+
+	// One past the terminal seq, and far past it: both are valid cursors
+	// that simply have nothing left to deliver. A bounded client turns a
+	// blocking regression into a fast failure instead of a test hang.
+	client := &http.Client{Timeout: 15 * time.Second}
+	for _, from := range []int{len(evs), len(evs) + 100} {
+		resp, err := client.Get(fmt.Sprintf("%s/v1/jobs/%s/events?from=%d", ts.URL, job.ID, from))
+		if err != nil {
+			t.Fatalf("from=%d: %v", from, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("from=%d: status = %d, want 200", from, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("from=%d: reading body: %v", from, err)
+		}
+		if len(body) != 0 {
+			t.Errorf("from=%d: past-the-end cursor delivered %d bytes, want an immediately-ended empty stream: %q", from, len(body), body)
+		}
+	}
+}
+
 // TestJobEventsInProcess drives the Service.JobEvents embedder API and
 // the slow-consumer drop accounting.
 func TestJobEventsInProcess(t *testing.T) {

@@ -1,11 +1,13 @@
 package service
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
@@ -21,6 +23,8 @@ import (
 //	POST   /v1/simulate         enqueue a workload x scheme sweep job (202);
 //	                            ?stream=1 streams NDJSON events instead (200);
 //	                            ?deadline_ms= / X-Deadline-Ms bound the job's runtime
+//	POST   /v1/cells            execute a coordinator's cell batch, streaming
+//	                            NDJSON updates (the worker half of cluster mode)
 //	GET    /v1/jobs/{id}        poll a sweep job
 //	DELETE /v1/jobs/{id}        cancel an in-flight sweep job
 //	GET    /v1/jobs/{id}/events stream the job's events as NDJSON (?from=seq resumes)
@@ -35,6 +39,7 @@ func (s *Service) Handler() http.Handler {
 		{"POST", "/v1/profile", "/v1/profile", s.handleProfile},
 		{"POST", "/v1/advise", "/v1/advise", s.handleAdvise},
 		{"POST", "/v1/simulate", "/v1/simulate", s.handleSimulate},
+		{"POST", "/v1/cells", "/v1/cells", s.handleCells},
 		{"GET", "/v1/jobs/{id}", "/v1/jobs", s.handleJob},
 		{"DELETE", "/v1/jobs/{id}", "/v1/jobs", s.handleJobCancel},
 		{"GET", "/v1/jobs/{id}/events", "/v1/jobs/events", s.handleJobEvents},
@@ -88,6 +93,16 @@ func (s *Service) Handler() http.Handler {
 }
 
 // statusRecorder captures the response code for metrics.
+//
+// Wrapping a ResponseWriter hides the underlying writer's optional
+// interfaces behind the embedded-interface promotion, so the ones the
+// handlers rely on are forwarded explicitly: Flush (NDJSON streaming)
+// and Hijack (anything taking over the connection). The rest are
+// dropped deliberately — io.ReaderFrom (sendfile) would bypass the
+// recorded status code on its fast path, and http.Pusher is HTTP/2
+// only, which the plain valleyd listener never negotiates. A handler
+// needing one of those must grow an explicit forwarder here, not
+// unwrap the recorder.
 type statusRecorder struct {
 	http.ResponseWriter
 	code int
@@ -99,13 +114,22 @@ func (r *statusRecorder) WriteHeader(code int) {
 }
 
 // Flush forwards to the wrapped writer so the NDJSON streaming
-// handlers can push each event to the client as it is published (the
-// embedded-interface promotion would otherwise hide the underlying
-// writer's Flusher from the type assertion in streamEvents).
+// handlers can push each event to the client as it is published.
 func (r *statusRecorder) Flush() {
 	if f, ok := r.ResponseWriter.(http.Flusher); ok {
 		f.Flush()
 	}
+}
+
+// Hijack forwards connection takeover to the wrapped writer, erroring
+// (like net/http itself) when the underlying writer does not support
+// it rather than panicking on a type assertion.
+func (r *statusRecorder) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	h, ok := r.ResponseWriter.(http.Hijacker)
+	if !ok {
+		return nil, nil, fmt.Errorf("underlying ResponseWriter (%T) does not support hijacking", r.ResponseWriter)
+	}
+	return h.Hijack()
 }
 
 // instrument wraps a handler with the request-scoped observability

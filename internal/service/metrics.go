@@ -54,6 +54,19 @@ type Metrics struct {
 	// goroutine before the recovery wrappers existed.
 	workerPanics atomic.Int64
 
+	// Cluster dispatch accounting (coordinator side). clusterDispatched
+	// counts cells sent to each peer (keyed by the configured peer URL,
+	// a closed set, so the label space is bounded); clusterSteals counts
+	// cells re-dispatched after a failed attempt on another peer;
+	// clusterLocalCells counts cells a coordinator fell back to
+	// executing locally. peerUp, when wired, samples the cluster
+	// client's health table at render time.
+	clusterMu         sync.Mutex
+	clusterDispatched map[string]*int64
+	clusterSteals     atomic.Int64
+	clusterLocalCells atomic.Int64
+	peerUp            func() map[string]bool
+
 	// Tiered sim-cache accounting: hits split by serving tier, and the
 	// spill tier's write-behind/janitor activity. spillErrors counts
 	// damage events (failed writes, corrupt or unreadable entries) that
@@ -142,6 +155,7 @@ var knownPaths = map[string]struct{}{
 	"/v1/profile":     {},
 	"/v1/advise":      {},
 	"/v1/simulate":    {},
+	"/v1/cells":       {},
 	"/v1/jobs":        {},
 	"/v1/jobs/events": {},
 	"/v1/jobs/trace":  {},
@@ -179,6 +193,48 @@ func (m *Metrics) ObserveRequestLatency(path string, code int, d time.Duration) 
 // WorkerPanic counts one recovered worker panic (a sweep cell or pool
 // task that panicked instead of returning).
 func (m *Metrics) WorkerPanic() { m.workerPanics.Add(1) }
+
+// ClusterDispatched counts n cells dispatched to peer.
+func (m *Metrics) ClusterDispatched(peer string, n int) {
+	m.clusterMu.Lock()
+	if m.clusterDispatched == nil {
+		m.clusterDispatched = map[string]*int64{}
+	}
+	c, ok := m.clusterDispatched[peer]
+	if !ok {
+		c = new(int64)
+		m.clusterDispatched[peer] = c
+	}
+	m.clusterMu.Unlock()
+	atomic.AddInt64(c, int64(n))
+}
+
+// ClusterSteal counts one cell re-dispatched after a failed attempt on
+// another peer (stolen from a slow or dead worker).
+func (m *Metrics) ClusterSteal() { m.clusterSteals.Add(1) }
+
+// ClusterLocalCell counts one cell a coordinator executed locally
+// because no healthy peer could take it.
+func (m *Metrics) ClusterLocalCell() { m.clusterLocalCells.Add(1) }
+
+// ClusterDispatches returns a copy of the per-peer dispatched-cell
+// counts.
+func (m *Metrics) ClusterDispatches() map[string]int64 {
+	m.clusterMu.Lock()
+	defer m.clusterMu.Unlock()
+	out := make(map[string]int64, len(m.clusterDispatched))
+	for p, c := range m.clusterDispatched {
+		out[p] = atomic.LoadInt64(c)
+	}
+	return out
+}
+
+// ClusterSteals returns total cells stolen from slow or dead peers.
+func (m *Metrics) ClusterSteals() int64 { return m.clusterSteals.Load() }
+
+// ClusterLocalCells returns total cells a coordinator ran locally as a
+// cluster fallback.
+func (m *Metrics) ClusterLocalCells() int64 { return m.clusterLocalCells.Load() }
 
 // WorkerPanics returns the total recovered worker panics.
 func (m *Metrics) WorkerPanics() int64 { return m.workerPanics.Load() }
@@ -337,6 +393,42 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	add("# HELP valleyd_worker_panics_total Panics recovered in sweep cells and pool workers.\n")
 	add("# TYPE valleyd_worker_panics_total counter\n")
 	add("valleyd_worker_panics_total %d\n", m.workerPanics.Load())
+
+	add("# HELP valleyd_cluster_cells_dispatched_total Sweep cells dispatched to each peer worker.\n")
+	add("# TYPE valleyd_cluster_cells_dispatched_total counter\n")
+	m.clusterMu.Lock()
+	peers := make([]string, 0, len(m.clusterDispatched))
+	for p := range m.clusterDispatched {
+		peers = append(peers, p)
+	}
+	sort.Strings(peers)
+	for _, p := range peers {
+		add("valleyd_cluster_cells_dispatched_total{peer=%q} %d\n", p, atomic.LoadInt64(m.clusterDispatched[p]))
+	}
+	m.clusterMu.Unlock()
+	add("# HELP valleyd_cluster_steals_total Cells re-dispatched after a failed attempt on a slow or dead peer.\n")
+	add("# TYPE valleyd_cluster_steals_total counter\n")
+	add("valleyd_cluster_steals_total %d\n", m.clusterSteals.Load())
+	add("# HELP valleyd_cluster_local_cells_total Cells a coordinator executed locally because no healthy peer could take them.\n")
+	add("# TYPE valleyd_cluster_local_cells_total counter\n")
+	add("valleyd_cluster_local_cells_total %d\n", m.clusterLocalCells.Load())
+	if m.peerUp != nil {
+		add("# HELP valleyd_cluster_peer_up Peer health by configured worker (1 = reachable, 0 = in its down cooldown).\n")
+		add("# TYPE valleyd_cluster_peer_up gauge\n")
+		states := m.peerUp()
+		ps := make([]string, 0, len(states))
+		for p := range states {
+			ps = append(ps, p)
+		}
+		sort.Strings(ps)
+		for _, p := range ps {
+			v := 0
+			if states[p] {
+				v = 1
+			}
+			add("valleyd_cluster_peer_up{peer=%q} %d\n", p, v)
+		}
+	}
 	add("# HELP valleyd_cache_tier_hits_total Simulation-cache hits by serving tier (mem: resident or in-flight join; disk: promoted from the spill store).\n")
 	add("# TYPE valleyd_cache_tier_hits_total counter\n")
 	add("valleyd_cache_tier_hits_total{tier=\"mem\"} %d\n", m.tierHitsMem.Load())

@@ -1,0 +1,97 @@
+package service
+
+// statusRecorder contract tests: the metrics wrapper must keep
+// forwarding the optional ResponseWriter interfaces the handlers rely
+// on (Flush for NDJSON streaming, Hijack for connection takeover),
+// including when middleware stacks end up wrapping the wrapper.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// Compile-time pins: losing either interface from the wrapper type is
+// a build failure, not a runtime surprise in a streaming handler.
+var (
+	_ http.Flusher  = (*statusRecorder)(nil)
+	_ http.Hijacker = (*statusRecorder)(nil)
+)
+
+// TestStatusRecorderDoubleWrapFlush: a Flush on a recorder wrapping
+// another recorder must reach the innermost writer. Middleware stacks
+// produce exactly this shape, and a broken hop silently turns live
+// NDJSON streams into end-of-request batches.
+func TestStatusRecorderDoubleWrapFlush(t *testing.T) {
+	base := httptest.NewRecorder()
+	inner := &statusRecorder{ResponseWriter: base, code: http.StatusOK}
+	outer := &statusRecorder{ResponseWriter: inner, code: http.StatusOK}
+
+	// Through the interface, as net/http handlers see it. The status
+	// goes first — a flush commits the headers, exactly like a real
+	// connection — and must record on every layer it passes through.
+	var w http.ResponseWriter = outer
+	w.WriteHeader(http.StatusTeapot)
+	if outer.code != http.StatusTeapot || inner.code != http.StatusTeapot {
+		t.Errorf("recorded codes outer=%d inner=%d, want both %d", outer.code, inner.code, http.StatusTeapot)
+	}
+	if base.Code != http.StatusTeapot {
+		t.Errorf("underlying writer saw status %d, want %d", base.Code, http.StatusTeapot)
+	}
+
+	f, ok := w.(http.Flusher)
+	if !ok {
+		t.Fatal("statusRecorder lost http.Flusher")
+	}
+	f.Flush()
+	if !base.Flushed {
+		t.Error("Flush through a double-wrapped recorder never reached the underlying writer")
+	}
+}
+
+// TestStatusRecorderHijack exercises both halves of the Hijack
+// contract: over a real connection the takeover succeeds (double
+// wrapped, as a middleware stack would), and over a writer with no
+// Hijacker underneath it returns an error instead of panicking.
+func TestStatusRecorderHijack(t *testing.T) {
+	const raw = "HTTP/1.1 200 OK\r\nContent-Length: 7\r\nConnection: close\r\n\r\nhijack\n"
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{
+			ResponseWriter: &statusRecorder{ResponseWriter: w, code: http.StatusOK},
+			code:           http.StatusOK,
+		}
+		conn, bw, err := rec.Hijack()
+		if err != nil {
+			t.Errorf("hijack over a live connection: %v", err)
+			return
+		}
+		defer conn.Close()
+		bw.WriteString(raw) //nolint:errcheck // best-effort raw response
+		bw.Flush()          //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "hijack\n" {
+		t.Errorf("hijacked response body %q, want %q", body, "hijack\n")
+	}
+
+	// httptest.ResponseRecorder has no Hijacker: the forwarder must
+	// surface that as an error naming the offending writer type.
+	rec := &statusRecorder{ResponseWriter: httptest.NewRecorder(), code: http.StatusOK}
+	if _, _, err := rec.Hijack(); err == nil {
+		t.Error("hijack over a non-hijackable writer returned nil error")
+	} else if !strings.Contains(err.Error(), "ResponseRecorder") {
+		t.Errorf("hijack error %q does not name the underlying writer type", err)
+	}
+}

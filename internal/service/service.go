@@ -10,18 +10,16 @@ import (
 	"math/bits"
 	"path/filepath"
 	"runtime"
-	"runtime/debug"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"valleymap/internal/bim"
 	"valleymap/internal/cache"
+	"valleymap/internal/cluster"
 	"valleymap/internal/entropy"
 	"valleymap/internal/experiments"
-	"valleymap/internal/fault"
 	"valleymap/internal/gpusim"
 	"valleymap/internal/layout"
 	"valleymap/internal/mapping"
@@ -104,6 +102,14 @@ type Config struct {
 	// slog.Default()). Request-scoped children carry trace_id, path and
 	// tenant; sweep logs carry job_id and trace_id.
 	Logger *slog.Logger
+	// Cluster, when set, turns this service into a sweep coordinator:
+	// cells are sharded across the client's peer workers by rendezvous
+	// hashing over their sim-cache keys (repeat cells land on the
+	// worker whose cache is warm), straggler cells are stolen from
+	// slow or dead peers, and the service degrades to local execution
+	// when no peer is reachable. Nil (the default) runs every cell
+	// locally.
+	Cluster *cluster.Client
 }
 
 func (c Config) withDefaults() Config {
@@ -202,6 +208,11 @@ func New(cfg Config) *Service {
 		start:      time.Now(),
 	}
 	s.jobs.onDrop = m.StreamEventDropped
+	if cfg.Cluster != nil {
+		// The peer-up gauge samples the cluster client's cooldown
+		// table at scrape time, like every other gauge in WriteTo.
+		m.peerUp = cfg.Cluster.PeerStates
+	}
 	if cfg.SimCacheSnapshot != "" {
 		s.loadLegacySnapshot(spill != nil)
 	}
@@ -1190,7 +1201,6 @@ func (s *Service) runSweep(ctx context.Context, release func(), jobID string, sp
 		root.Annotate(obs.Attr{Key: "degraded", Value: "true"})
 	}
 	var (
-		wg       sync.WaitGroup
 		errMu    sync.Mutex
 		firstErr error
 	)
@@ -1201,197 +1211,28 @@ func (s *Service) runSweep(ctx context.Context, release func(), jobID string, sp
 		}
 		errMu.Unlock()
 	}
-	apps := make([]sharedApp, len(specs))
-submit:
-	for wi := range specs {
-		sa := &apps[wi]
-		sp := specs[wi]
-		for si, sc := range schemes {
-			si, sc := si, sc
-			if ctx.Err() != nil {
-				// Canceled mid-fan-out: stop submitting. Cells already
-				// queued or running drain through their own ctx checks.
-				break submit
-			}
-			submitAt := time.Now()
-			wg.Add(1)
-			task := func() {
-				defer wg.Done()
-				if ctx.Err() != nil {
-					// Canceled while queued: free the worker slot without
-					// paying for the cell.
-					return
-				}
-				cellStart := time.Now()
-				s.metrics.queueWait.ObserveDuration(cellStart.Sub(submitAt))
-				cellSpan := tr.StartAt(root.ID(), "cell", submitAt,
-					obs.Attr{Key: "workload", Value: sp.Abbr},
-					obs.Attr{Key: "scheme", Value: string(sc)},
-				)
-				qw := tr.StartAt(cellSpan.ID(), "queue_wait", submitAt)
-				qw.EndAt(cellStart)
-				defer func() {
-					if r := recover(); r != nil {
-						s.metrics.WorkerPanic()
-						s.log.Error("sweep cell panic recovered",
-							"job_id", jobID,
-							"trace_id", tr.ID(),
-							"workload", sp.Abbr,
-							"scheme", string(sc),
-							"panic", fmt.Sprint(r),
-							"stack", string(debug.Stack()),
-						)
-						cellSpan.Annotate(obs.Attr{Key: "panic", Value: fmt.Sprint(r)})
-						cellSpan.End()
-						fail(fmt.Errorf("simulating %s under %s: %v", sp.Abbr, sc, r))
-					}
-				}()
-				// putSpan covers the cache insert after the compute closure
-				// returns; it stays the inert zero SpanRef on cache hits.
-				var putSpan obs.SpanRef
-				compute := func() (*simCell, error) {
-					// Chaos seams: a wedged worker stalls here; an induced
-					// cell panic exercises the PanicError recovery path.
-					fault.Sleep(fault.WorkerDelay)
-					if fault.Fail(fault.CellPanic) {
-						panic("injected cell panic")
-					}
-					simStart := time.Now()
-					build := tr.Start(cellSpan.ID(), "trace_build")
-					app := sa.get(sp, scale)
-					build.End()
-					m := mapping.MustNew(sc, cfg.Layout, mapping.Options{Seed: seed})
-					r := runnerPool.Get().(*gpusim.Runner)
-					eng := tr.Start(cellSpan.ID(), "engine_run")
-					var setup, kernels, collect time.Duration
-					r.SetStageObserver(func(stage string, d time.Duration) {
-						switch stage {
-						case gpusim.StageSetup:
-							setup = d
-						case gpusim.StageKernels:
-							kernels = d
-						case gpusim.StageCollect:
-							collect = d
-						}
-					})
-					// The engine polls ctx between bounded event batches,
-					// so an abandoned or expired sweep frees this worker
-					// slot mid-cell within the checkpoint interval.
-					res, runErr := r.RunCtx(ctx, app, m, cfg)
-					r.SetStageObserver(nil)
-					eng.Annotate(
-						obs.Attr{Key: "setup_us", Value: strconv.FormatInt(setup.Microseconds(), 10)},
-						obs.Attr{Key: "kernels_us", Value: strconv.FormatInt(kernels.Microseconds(), 10)},
-						obs.Attr{Key: "collect_us", Value: strconv.FormatInt(collect.Microseconds(), 10)},
-					)
-					eng.End()
-					runnerPool.Put(r)
-					if runErr != nil {
-						return nil, runErr
-					}
-					// The shared build must come back untouched, or it
-					// would poison this workload's remaining cells and
-					// every later sweep holding the same pointer.
-					if got := sa.app.Requests(); got != sa.reqs {
-						return nil, fmt.Errorf("simulating %s under %s mutated the shared trace: %d requests became %d", sp.Abbr, sc, sa.reqs, got)
-					}
-					putSpan = tr.Start(cellSpan.ID(), "cache_put")
-					return &simCell{Res: experiments.FlattenResult(res), Seconds: time.Since(simStart).Seconds()}, nil
-				}
-				key := simCellKey(sp.Abbr, result.Scale, sc, result.Config, seed)
-				var (
-					cell *simCell
-					tier cache.Tier
-					err  error
-				)
-				for attempt := 0; ; attempt++ {
-					cell, tier, err = s.simCache.GetOrCompute(key, compute)
-					// In-flight coalescing wrinkle: joining another sweep's
-					// computation means inheriting its context error if that
-					// sweep is canceled. While our own job is still alive,
-					// retry — canceled computations are never cached, so the
-					// retry computes fresh under our live context.
-					if err == nil || ctx.Err() != nil || attempt >= 2 ||
-						!(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
-						break
-					}
-				}
-				putSpan.End()
-				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-					// Our own cancellation (or an unlucky triple join on
-					// other dying sweeps): record it quietly; the dispatcher
-					// publishes the terminal event.
-					fail(err)
-					cellSpan.Annotate(obs.Attr{Key: "canceled", Value: "true"})
-					cellSpan.End()
-					return
-				}
-				if err != nil {
-					// A panic inside the compute closure surfaces as a
-					// cache.PanicError (the cache recovers it to keep the
-					// in-flight coalescing sane); account for it as a crash
-					// with the stack from the panic site.
-					var pe *cache.PanicError
-					if errors.As(err, &pe) {
-						s.metrics.WorkerPanic()
-						s.log.Error("sweep cell panic recovered",
-							"job_id", jobID,
-							"trace_id", tr.ID(),
-							"workload", sp.Abbr,
-							"scheme", string(sc),
-							"panic", fmt.Sprint(pe.Value),
-							"stack", string(pe.Stack),
-						)
-						cellSpan.Annotate(obs.Attr{Key: "panic", Value: fmt.Sprint(pe.Value)})
-					}
-					fail(err)
-					cellSpan.Annotate(obs.Attr{Key: "error", Value: err.Error()})
-					cellSpan.End()
-					return
-				}
-				// A spill-tier hit is a hit: the cell came from the cache,
-				// not the simulator, whichever tier held it.
-				hit := tier != cache.TierMiss
-				done := CellResult{
-					Workload:   sp.Abbr,
-					Scheme:     string(sc),
-					Seconds:    time.Since(cellStart).Seconds(),
-					Cached:     hit,
-					ResultJSON: cell.Res,
-				}
-				s.metrics.cellSeconds.Observe(done.Seconds)
-				cellSpan.Annotate(obs.Attr{Key: "cached", Value: strconv.FormatBool(hit)})
-				cellSpan.End()
-				result.Cells[wi*len(schemes)+si] = done
-				if !hit {
-					s.metrics.cellsSimulated.Add(1)
-					// Feed the admission cost model with the measured
-					// simulation seconds (cache hits measure the cache,
-					// not the simulator, and are skipped).
-					s.costs.observe(result.Config, result.Scale, cell.Seconds)
-				}
-				// Publishes the cell on the job's event stream the moment
-				// it lands; streaming clients see it before job completion.
-				s.jobs.cellDone(jobID, done)
-			}
-			if degraded {
-				// Degraded mode: the sweep is fully cached and the pool is
-				// saturated, so cells run inline on this dispatcher
-				// goroutine — cached results stay servable under overload
-				// without queueing behind real simulation work.
-				task()
-				continue
-			}
-			if !s.pool.submit(task) {
-				wg.Done()
-				fail(errors.New("service shutting down"))
-				// The pool only refuses when it is closed; later submits
-				// would just fail the same way, so stop fanning out.
-				break submit
-			}
-		}
+	// deliver publishes each finished cell on the job's event stream
+	// the moment it lands (streaming clients see it before job
+	// completion) and files it into its dense grid slot. Cells
+	// never collide on a slot — each (wi, si) executes exactly once
+	// per sweep, whichever dispatcher ran it — so the writes are safe
+	// without a lock.
+	deliver := func(wi, si int, done CellResult) {
+		result.Cells[wi*len(schemes)+si] = done
+		s.jobs.cellDone(jobID, done)
 	}
-	wg.Wait()
+	apps := make([]sharedApp, len(specs))
+	// Dispatch: cluster-sharded when a peer set is configured and at
+	// least one peer is reachable, local otherwise. Degraded sweeps
+	// (fully cached, pool saturated) always run locally — their value
+	// is answering from the local cache without queueing.
+	handled := false
+	if !degraded && s.cfg.Cluster != nil {
+		handled = s.dispatchCluster(ctx, jobID, specs, schemes, cfg, scale, seed, result, tr, root, apps, deliver, fail)
+	}
+	if !handled {
+		s.dispatchLocal(ctx, jobID, specs, schemes, cfg, scale, seed, result, tr, root, apps, deliver, fail, degraded)
+	}
 	elapsed := time.Since(start)
 	s.metrics.AddSweepSeconds(elapsed)
 	if cause := context.Cause(ctx); cause != nil {

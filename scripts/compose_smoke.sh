@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Compose smoke test: build the image, stand up the docker-compose.yml
+# cluster (1 coordinator + 2 workers), run the same 4x4 sweep twice,
+# and require
+#   - both sweeps to land on status done,
+#   - the repeat sweep to be served entirely cached:true (every cell
+#     from the worker whose cache owns it — the coordinator never
+#     caches remote results, so this proves affinity routing), and
+#   - the dispatch accounting to show cells on >= 2 distinct peers.
+#
+# Needs: docker compose, curl, jq. Cleans the stack up on exit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASE=${BASE:-http://localhost:8080}
+SWEEP='{"workloads":["MT","LU","SC","SP"],"schemes":["BASE","RMP","PAE","FAE"],"scale":"tiny"}'
+
+cleanup() {
+    docker compose down -v --remove-orphans >/dev/null 2>&1 || true
+}
+trap cleanup EXIT
+
+docker compose up --build -d
+
+# The coordinator only starts after both workers pass their health
+# checks, but its own listener still needs a moment.
+for i in $(seq 1 60); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if [ "$i" -eq 60 ]; then
+        echo "coordinator never became healthy" >&2
+        docker compose logs >&2
+        exit 1
+    fi
+    sleep 1
+done
+
+# run_sweep POSTs the sweep, polls the job to a terminal state, and
+# prints the job id; any terminal other than done fails the script.
+run_sweep() {
+    local id status
+    id=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+        -d "$SWEEP" "$BASE/v1/simulate" | jq -r .id)
+    if [ -z "$id" ] || [ "$id" = null ]; then
+        echo "sweep was not accepted" >&2
+        return 1
+    fi
+    for _ in $(seq 1 180); do
+        status=$(curl -fsS "$BASE/v1/jobs/$id" | jq -r .status)
+        case "$status" in
+        done)
+            echo "$id"
+            return 0
+            ;;
+        failed | canceled)
+            echo "sweep $id ended $status:" >&2
+            curl -fsS "$BASE/v1/jobs/$id" | jq . >&2
+            return 1
+            ;;
+        esac
+        sleep 1
+    done
+    echo "sweep $id never reached a terminal state" >&2
+    return 1
+}
+
+id1=$(run_sweep)
+echo "first sweep $id1 done"
+id2=$(run_sweep)
+echo "repeat sweep $id2 done"
+
+uncached=$(curl -fsS "$BASE/v1/jobs/$id2" |
+    jq '[.result.cells[] | select(.cached != true)] | length')
+if [ "$uncached" != 0 ]; then
+    echo "repeat sweep recomputed $uncached cells instead of hitting the workers' caches:" >&2
+    curl -fsS "$BASE/v1/jobs/$id2" | jq '.result.cells' >&2
+    exit 1
+fi
+
+peers=$(curl -fsS "$BASE/metrics" |
+    grep -c '^valleyd_cluster_cells_dispatched_total{' || true)
+if [ "$peers" -lt 2 ]; then
+    echo "dispatch metrics show $peers peers, want >= 2:" >&2
+    curl -fsS "$BASE/metrics" | grep '^valleyd_cluster' >&2 || true
+    exit 1
+fi
+
+echo "compose smoke OK: repeat sweep fully cached, cells dispatched to $peers peers"
